@@ -1,0 +1,64 @@
+//! Ablation benches for DEMT's design choices (DESIGN.md experiment
+//! index): what each §3.2 ingredient costs in scheduling time. The
+//! *quality* side of the ablation is `repro ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_core::{demt_schedule, Compaction, DemtConfig, LocalOrder};
+use demt_workload::{generate, WorkloadKind};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, DemtConfig)> {
+    vec![
+        ("paper_default", DemtConfig::default()),
+        (
+            "no_merge",
+            DemtConfig {
+                merge_small: false,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "raw_batches",
+            DemtConfig {
+                compaction: Compaction::None,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "list_no_shuffle",
+            DemtConfig {
+                compaction: Compaction::List,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "shuffle_x32",
+            DemtConfig {
+                shuffles: 32,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "local_order_area",
+            DemtConfig {
+                local_order: LocalOrder::Area,
+                ..DemtConfig::default()
+            },
+        ),
+    ]
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demt_ablation_runtime");
+    group.sample_size(10);
+    let inst = generate(WorkloadKind::Mixed, 200, 200, 11);
+    for (name, cfg) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(demt_schedule(&inst, cfg).criteria.weighted_completion))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7 — "Execution time of the algorithm": DEMT scheduling
+//! wall-clock versus the number of tasks, for the three workload
+//! families the paper plots (weakly parallel, Cirne, highly parallel),
+//! at the paper's cluster size m = 200.
+//!
+//! The paper reports < 2 s at n = 400 on 2004 hardware; the CSV twin of
+//! this bench is `repro fig7`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_core::{demt_schedule, DemtConfig};
+use demt_workload::{generate, WorkloadKind};
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_demt_runtime");
+    group.sample_size(10);
+    for kind in [
+        WorkloadKind::WeaklyParallel,
+        WorkloadKind::Cirne,
+        WorkloadKind::HighlyParallel,
+    ] {
+        for n in [25usize, 100, 400] {
+            let inst = generate(kind, n, 200, 42);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
+                b.iter(|| black_box(demt_schedule(inst, &DemtConfig::default()).schedule))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

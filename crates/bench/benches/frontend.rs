@@ -1,0 +1,68 @@
+//! Front-end and divisible-substrate benches: queue engines on
+//! realistic submission streams, SWF parsing throughput, and the
+//! McNaughton wrap-around.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_divisible::{mcnaughton, WorkJob};
+use demt_frontend::{
+    parse_swf, queue_schedule, submit_stream, write_swf, QueuePolicy, StreamSpec, SwfRecord,
+};
+use demt_model::TaskId;
+use demt_workload::WorkloadKind;
+use std::hint::black_box;
+
+fn queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend_queues");
+    group.sample_size(20);
+    for n in [100usize, 400] {
+        let spec = StreamSpec {
+            kind: WorkloadKind::Cirne,
+            jobs: n,
+            procs: 64,
+            mean_interarrival: 0.2,
+            seed: 1,
+        };
+        let jobs = submit_stream(&spec);
+        for policy in [QueuePolicy::Fcfs, QueuePolicy::EasyBackfill] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), n),
+                &jobs,
+                |b, jobs| b.iter(|| black_box(queue_schedule(64, jobs, policy).makespan())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn swf(c: &mut Criterion) {
+    let records: Vec<SwfRecord> = (0..5000)
+        .map(|i| SwfRecord {
+            job: i as u64 + 1,
+            submit: i as f64 * 1.7,
+            wait: 0.0,
+            run_time: 30.0 + (i % 17) as f64 * 9.0,
+            procs: 1 + (i % 32),
+            status: 1,
+        })
+        .collect();
+    let text = write_swf(&records);
+    c.bench_function("swf_parse_5000_records", |b| {
+        b.iter(|| black_box(parse_swf(&text).expect("valid").len()))
+    });
+}
+
+fn wrap_around(c: &mut Criterion) {
+    let jobs: Vec<WorkJob> = (0..1000)
+        .map(|i| WorkJob {
+            id: TaskId(i),
+            work: 1.0 + (i % 13) as f64,
+            weight: 1.0,
+        })
+        .collect();
+    c.bench_function("mcnaughton_1000_jobs", |b| {
+        b.iter(|| black_box(mcnaughton(&jobs, 64).makespan()))
+    });
+}
+
+criterion_group!(benches, queues, swf, wrap_around);
+criterion_main!(benches);

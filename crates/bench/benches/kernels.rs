@@ -1,0 +1,74 @@
+//! Component benches for the substrates: the §3.2 knapsack (the paper
+//! claims `O(mn)`), the dual-approximation bisection, the minsum LP
+//! bound, and the Graham list engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_bounds::{minsum_lower_bound, BoundConfig};
+use demt_dual::{dual_approx, DualConfig};
+use demt_kernels::{max_weight_knapsack, WeightItem};
+use demt_platform::{list_schedule, ListPolicy, ListTask};
+use demt_workload::{generate, WorkloadKind};
+use std::hint::black_box;
+
+fn knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack_omn");
+    for (n, m) in [(100usize, 200usize), (400, 200), (400, 800)] {
+        let items: Vec<WeightItem> = (0..n)
+            .map(|i| WeightItem {
+                procs: 1 + (i * 7) % (m / 2),
+                weight: 1.0 + (i % 10) as f64,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &(items, m),
+            |b, (items, m)| b.iter(|| black_box(max_weight_knapsack(items, *m))),
+        );
+    }
+    group.finish();
+}
+
+fn dual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dual_approximation");
+    group.sample_size(20);
+    for n in [100usize, 400] {
+        let inst = generate(WorkloadKind::Cirne, n, 200, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(dual_approx(inst, &DualConfig::default()).lower_bound))
+        });
+    }
+    group.finish();
+}
+
+fn lp_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minsum_lp_bound");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let inst = generate(WorkloadKind::Cirne, n, 200, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(minsum_lower_bound(inst, &BoundConfig::default()).value))
+        });
+    }
+    group.finish();
+}
+
+fn list_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graham_list_engine");
+    for n in [200usize, 1000] {
+        let inst = generate(WorkloadKind::Mixed, n, 200, 5);
+        let tasks: Vec<ListTask> = inst
+            .ids()
+            .map(|id| {
+                let k = 1 + id.index() % 16;
+                ListTask::new(id, k, inst.task(id).time(k))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tasks, |b, tasks| {
+            b.iter(|| black_box(list_schedule(200, tasks, ListPolicy::Greedy).makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, knapsack, dual, lp_bound, list_engine);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Configuration of the DEMT algorithm, including the ablation switches
+//! for the design choices called out in DESIGN.md.
+
+use demt_dual::DualConfig;
+
+/// Which compaction pipeline to run after the batches are placed
+/// (§3.2's successive improvements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compaction {
+    /// Keep the raw batched schedule ("we start all the selected tasks
+    /// of one batch at the same time").
+    None,
+    /// Also slide tasks left while their own processors are idle
+    /// ("a straightforward improvement…").
+    PullEarlier,
+    /// Also re-run the Graham list engine with the batch ordering
+    /// ("a further improvement is to use a list algorithm…").
+    List,
+    /// Also shuffle the batch order several times and keep the best
+    /// compact schedule ("an additional optimization step…").
+    ListShuffle,
+}
+
+/// Ordering of tasks *inside* a batch when feeding the list engine
+/// (the paper's "local ordering within the batches", left unspecified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOrder {
+    /// Decreasing weight / area — densest weight first (default).
+    WeightOverArea,
+    /// Decreasing weight.
+    Weight,
+    /// Increasing area (SAF flavour).
+    Area,
+    /// Keep the knapsack selection order.
+    AsSelected,
+}
+
+/// Full DEMT configuration. `Default` reproduces the paper's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemtConfig {
+    /// Dual-approximation settings for the `C*max` estimate.
+    pub dual: DualConfig,
+    /// Merge small sequential tasks into chains before the knapsack
+    /// (§3.2; ablation switch).
+    pub merge_small: bool,
+    /// Compaction pipeline depth.
+    pub compaction: Compaction,
+    /// Local ordering within batches.
+    pub local_order: LocalOrder,
+    /// Number of random batch-order shuffles tried in
+    /// [`Compaction::ListShuffle`] ("shuffled several times").
+    pub shuffles: usize,
+    /// Seed for the shuffle permutations (deterministic runs).
+    pub shuffle_seed: u64,
+}
+
+impl Default for DemtConfig {
+    fn default() -> Self {
+        Self {
+            dual: DualConfig::default(),
+            merge_small: true,
+            compaction: Compaction::ListShuffle,
+            local_order: LocalOrder::WeightOverArea,
+            shuffles: 8,
+            shuffle_seed: 0xDE47, // "DEMT"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_pipeline() {
+        let c = DemtConfig::default();
+        assert!(c.merge_small);
+        assert_eq!(c.compaction, Compaction::ListShuffle);
+        assert!(c.shuffles > 0);
+    }
+}

@@ -1,0 +1,532 @@
+//! # demt-divisible — divisible-load and preemptive scheduling
+//!
+//! The third job type of the paper's §5 outlook ("the mix of different
+//! types of jobs: moldable jobs, rigid jobs, and divisible load jobs").
+//! A *divisible-load* job is pure work that can be split arbitrarily in
+//! time and across processors; a *preemptive* job can be interrupted
+//! and resumed but occupies at most one processor at a time.
+//!
+//! Contents:
+//!
+//! * [`PreemptiveSchedule`] — pieces on explicit processors, with its
+//!   own validator (per-processor non-overlap, per-job work
+//!   conservation, optional no-simultaneity for preemptive jobs);
+//! * [`mcnaughton`] — McNaughton's wrap-around rule: an **optimal**
+//!   preemptive makespan `max(max Wᵢ, Σ Wᵢ / m)` with at most `n + m`
+//!   pieces, built in `O(n)`;
+//! * [`smith_gang`] — the minsum-optimal divisible schedule: every job
+//!   on all `m` processors in Smith order (decreasing `wᵢ/Wᵢ`) — the
+//!   §3.1 observation that gave DEMT its small-tasks-first shape;
+//! * [`to_moldable`] — bridges a divisible job into the moldable model
+//!   (a linear-speed-up task) so DEMT can co-schedule all three §5 job
+//!   types in one instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use demt_model::{MoldableTask, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A divisible or preemptive job: total work and minsum weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkJob {
+    /// Job id (dense `0..n`).
+    pub id: TaskId,
+    /// Total work (processor × time units), > 0.
+    pub work: f64,
+    /// Weight in `Σ wᵢCᵢ`, > 0.
+    pub weight: f64,
+}
+
+/// One contiguous piece of a job on one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Piece {
+    /// The job this piece belongs to.
+    pub task: TaskId,
+    /// Piece start time.
+    pub start: f64,
+    /// Piece length (> 0).
+    pub duration: f64,
+    /// Processor index.
+    pub proc: u32,
+}
+
+impl Piece {
+    /// Piece end time.
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+/// A preemptive/divisible schedule: a bag of pieces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreemptiveSchedule {
+    procs: usize,
+    pieces: Vec<Piece>,
+}
+
+/// Validation failures for preemptive schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreemptiveError {
+    /// Two pieces overlap on one processor.
+    ProcessorOverlap(u32),
+    /// A job's pieces do not sum to its work.
+    WorkMismatch {
+        /// The job.
+        task: TaskId,
+        /// Σ piece durations.
+        placed: f64,
+        /// Required work.
+        required: f64,
+    },
+    /// A *preemptive* job runs on two processors at once.
+    SimultaneousPieces(TaskId),
+    /// A piece references a processor ≥ m or has non-positive length.
+    MalformedPiece(TaskId),
+}
+
+impl std::fmt::Display for PreemptiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreemptiveError::ProcessorOverlap(q) => write!(f, "pieces overlap on processor {q}"),
+            PreemptiveError::WorkMismatch {
+                task,
+                placed,
+                required,
+            } => {
+                write!(f, "{task}: placed work {placed} ≠ required {required}")
+            }
+            PreemptiveError::SimultaneousPieces(t) => {
+                write!(f, "{t}: preemptive job runs on two processors at once")
+            }
+            PreemptiveError::MalformedPiece(t) => write!(f, "{t}: malformed piece"),
+        }
+    }
+}
+
+impl std::error::Error for PreemptiveError {}
+
+impl PreemptiveSchedule {
+    /// Empty schedule on `m` processors.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0);
+        Self {
+            procs,
+            pieces: Vec::new(),
+        }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The pieces.
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Adds a piece.
+    pub fn push(&mut self, p: Piece) {
+        self.pieces.push(p);
+    }
+
+    /// Makespan over all pieces.
+    pub fn makespan(&self) -> f64 {
+        self.pieces.iter().map(Piece::end).fold(0.0, f64::max)
+    }
+
+    /// Completion time of one job (its last piece's end).
+    pub fn completion(&self, task: TaskId) -> Option<f64> {
+        self.pieces
+            .iter()
+            .filter(|p| p.task == task)
+            .map(Piece::end)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// `Σ wᵢ Cᵢ` against a job set.
+    pub fn weighted_completion(&self, jobs: &[WorkJob]) -> f64 {
+        jobs.iter()
+            .map(|j| j.weight * self.completion(j.id).expect("job scheduled"))
+            .sum()
+    }
+
+    /// Validates the schedule for `jobs`. `allow_simultaneous` is true
+    /// for divisible loads, false for preemptive (one processor at a
+    /// time) jobs.
+    pub fn validate(
+        &self,
+        jobs: &[WorkJob],
+        allow_simultaneous: bool,
+    ) -> Result<(), PreemptiveError> {
+        const EPS: f64 = 1e-9;
+        for p in &self.pieces {
+            if p.duration <= 0.0 || (p.proc as usize) >= self.procs || p.start < -EPS {
+                return Err(PreemptiveError::MalformedPiece(p.task));
+            }
+        }
+        // Per-processor overlap.
+        for q in 0..self.procs as u32 {
+            let mut on_q: Vec<&Piece> = self.pieces.iter().filter(|p| p.proc == q).collect();
+            on_q.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            for w in on_q.windows(2) {
+                if w[1].start < w[0].end() - EPS {
+                    return Err(PreemptiveError::ProcessorOverlap(q));
+                }
+            }
+        }
+        // Work conservation + optional per-job simultaneity.
+        for j in jobs {
+            let mut mine: Vec<&Piece> = self.pieces.iter().filter(|p| p.task == j.id).collect();
+            let placed: f64 = mine.iter().map(|p| p.duration).sum();
+            if (placed - j.work).abs() > EPS * j.work.max(1.0) {
+                return Err(PreemptiveError::WorkMismatch {
+                    task: j.id,
+                    placed,
+                    required: j.work,
+                });
+            }
+            if !allow_simultaneous {
+                mine.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+                for w in mine.windows(2) {
+                    if w[1].start < w[0].end() - EPS {
+                        return Err(PreemptiveError::SimultaneousPieces(j.id));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The optimal preemptive makespan `max(max Wᵢ, Σ Wᵢ / m)`.
+pub fn mcnaughton_optimum(jobs: &[WorkJob], m: usize) -> f64 {
+    assert!(m > 0 && !jobs.is_empty());
+    let total: f64 = jobs.iter().map(|j| j.work).sum();
+    let longest = jobs.iter().map(|j| j.work).fold(0.0, f64::max);
+    longest.max(total / m as f64)
+}
+
+/// McNaughton's wrap-around rule: packs the jobs back-to-back on a
+/// virtual timeline of length `C* = mcnaughton_optimum` and wraps at
+/// processor boundaries, splitting at most one piece per wrap. The
+/// result is an optimal preemptive schedule with ≤ `n + m` pieces, and
+/// no job runs on two processors at once (the wrap leaves its two
+/// halves at disjoint times because `Wᵢ ≤ C*`).
+///
+/// ```
+/// use demt_divisible::{mcnaughton, mcnaughton_optimum, WorkJob};
+/// use demt_model::TaskId;
+/// let jobs: Vec<WorkJob> = [4.0, 5.0, 3.0]
+///     .iter().enumerate()
+///     .map(|(i, &w)| WorkJob { id: TaskId(i), work: w, weight: 1.0 })
+///     .collect();
+/// let s = mcnaughton(&jobs, 2);
+/// assert_eq!(s.makespan(), mcnaughton_optimum(&jobs, 2)); // = 6
+/// s.validate(&jobs, false).unwrap();                      // strict preemptive semantics
+/// ```
+pub fn mcnaughton(jobs: &[WorkJob], m: usize) -> PreemptiveSchedule {
+    for j in jobs {
+        assert!(j.work > 0.0 && j.work.is_finite(), "{}: bad work", j.id);
+    }
+    let horizon = mcnaughton_optimum(jobs, m);
+    let mut s = PreemptiveSchedule::new(m);
+    let mut proc = 0u32;
+    let mut t = 0.0_f64;
+    for j in jobs {
+        let mut left = j.work;
+        while left > 1e-12 {
+            let room = horizon - t;
+            if left <= room + 1e-12 {
+                s.push(Piece {
+                    task: j.id,
+                    start: t,
+                    duration: left,
+                    proc,
+                });
+                t += left;
+                left = 0.0;
+            } else {
+                if room > 1e-12 {
+                    s.push(Piece {
+                        task: j.id,
+                        start: t,
+                        duration: room,
+                        proc,
+                    });
+                }
+                left -= room;
+                proc += 1;
+                t = 0.0;
+                assert!(
+                    (proc as usize) < m,
+                    "wrap-around overflow: horizon too small"
+                );
+            }
+        }
+        if (t - horizon).abs() < 1e-12 {
+            proc += 1;
+            t = 0.0;
+        }
+    }
+    s
+}
+
+/// Minsum-optimal schedule for *divisible* jobs: every job spread over
+/// all `m` processors, jobs in Smith order (decreasing `wᵢ/Wᵢ`). This
+/// is the paper's §3.1 extreme case — for perfectly moldable work the
+/// optimum "schedules all the tasks on all processors in order of
+/// increasing area".
+pub fn smith_gang(jobs: &[WorkJob], m: usize) -> PreemptiveSchedule {
+    let mut order: Vec<&WorkJob> = jobs.iter().collect();
+    order.sort_by(|a, b| {
+        (b.weight / b.work)
+            .partial_cmp(&(a.weight / a.work))
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    let mut s = PreemptiveSchedule::new(m);
+    let mut t = 0.0;
+    for j in order {
+        let d = j.work / m as f64;
+        for q in 0..m as u32 {
+            s.push(Piece {
+                task: j.id,
+                start: t,
+                duration: d,
+                proc: q,
+            });
+        }
+        t += d;
+    }
+    s
+}
+
+/// Bridges a divisible job into the moldable model as a linear-speed-up
+/// task, letting DEMT co-schedule all three §5 job types.
+pub fn to_moldable(job: &WorkJob, m: usize) -> MoldableTask {
+    MoldableTask::linear(job.id, job.weight, job.work, m)
+        .expect("divisible jobs have positive work and weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(works: &[f64]) -> Vec<WorkJob> {
+        works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| WorkJob {
+                id: TaskId(i),
+                work: w,
+                weight: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mcnaughton_classic_example() {
+        // Works 4,5,3 on 2 procs: C* = max(5, 6) = 6.
+        let js = jobs(&[4.0, 5.0, 3.0]);
+        assert_eq!(mcnaughton_optimum(&js, 2), 6.0);
+        let s = mcnaughton(&js, 2);
+        s.validate(&js, false).unwrap();
+        assert!((s.makespan() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_job_dominates_the_horizon() {
+        let js = jobs(&[10.0, 1.0, 1.0]);
+        assert_eq!(mcnaughton_optimum(&js, 4), 10.0);
+        let s = mcnaughton(&js, 4);
+        s.validate(&js, false).unwrap();
+        assert!((s.makespan() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_pieces_never_run_simultaneously() {
+        // A job exactly at the horizon boundary wraps; its two halves
+        // must not overlap in time (validated with strict preemptive
+        // semantics).
+        let js = jobs(&[3.0, 3.0, 3.0, 3.0, 3.0]);
+        let s = mcnaughton(&js, 3); // C* = 5
+        s.validate(&js, false).unwrap();
+        assert!(s.pieces().len() <= 5 + 3, "≤ n + m pieces");
+    }
+
+    #[test]
+    fn smith_gang_matches_hand_computation() {
+        let js = vec![
+            WorkJob {
+                id: TaskId(0),
+                work: 6.0,
+                weight: 1.0,
+            },
+            WorkJob {
+                id: TaskId(1),
+                work: 2.0,
+                weight: 2.0,
+            },
+        ];
+        let s = smith_gang(&js, 2);
+        s.validate(&js, true).unwrap();
+        // Smith: job 1 first (ratio 1.0 > 1/6). C₁ = 1, C₀ = 4.
+        assert!((s.completion(TaskId(1)).unwrap() - 1.0).abs() < 1e-9);
+        assert!((s.completion(TaskId(0)).unwrap() - 4.0).abs() < 1e-9);
+        assert!((s.weighted_completion(&js) - (2.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smith_gang_beats_any_swap() {
+        // Exchange argument numerically: Smith order ≤ all permutations.
+        let js = vec![
+            WorkJob {
+                id: TaskId(0),
+                work: 5.0,
+                weight: 1.3,
+            },
+            WorkJob {
+                id: TaskId(1),
+                work: 2.0,
+                weight: 0.7,
+            },
+            WorkJob {
+                id: TaskId(2),
+                work: 8.0,
+                weight: 3.0,
+            },
+        ];
+        let m = 4;
+        let best = smith_gang(&js, m).weighted_completion(&js);
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let mut t = 0.0;
+            let mut acc = 0.0;
+            for &i in &p {
+                t += js[i].work / m as f64;
+                acc += js[i].weight * t;
+            }
+            assert!(
+                best <= acc + 1e-9,
+                "order {p:?} beats Smith: {acc} < {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn moldable_bridge_preserves_work_and_weight() {
+        let j = WorkJob {
+            id: TaskId(3),
+            work: 12.0,
+            weight: 2.5,
+        };
+        let t = to_moldable(&j, 6);
+        assert_eq!(t.id(), TaskId(3));
+        assert_eq!(t.weight(), 2.5);
+        assert!((t.work(1) - 12.0).abs() < 1e-9);
+        assert!(
+            (t.work(6) - 12.0).abs() < 1e-9,
+            "linear speed-up keeps work constant"
+        );
+        assert!(t.is_monotonic());
+    }
+
+    #[test]
+    fn validator_catches_all_fault_classes() {
+        let js = jobs(&[2.0, 2.0]);
+        // Work mismatch.
+        let mut s = PreemptiveSchedule::new(2);
+        s.push(Piece {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 1.0,
+            proc: 0,
+        });
+        s.push(Piece {
+            task: TaskId(1),
+            start: 0.0,
+            duration: 2.0,
+            proc: 1,
+        });
+        assert!(matches!(
+            s.validate(&js, false),
+            Err(PreemptiveError::WorkMismatch {
+                task: TaskId(0),
+                ..
+            })
+        ));
+        // Processor overlap.
+        let mut s = PreemptiveSchedule::new(2);
+        s.push(Piece {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 2.0,
+            proc: 0,
+        });
+        s.push(Piece {
+            task: TaskId(1),
+            start: 1.0,
+            duration: 2.0,
+            proc: 0,
+        });
+        assert!(matches!(
+            s.validate(&js, false),
+            Err(PreemptiveError::ProcessorOverlap(0))
+        ));
+        // Simultaneity (allowed for divisible, rejected for preemptive).
+        let mut s = PreemptiveSchedule::new(2);
+        s.push(Piece {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 1.0,
+            proc: 0,
+        });
+        s.push(Piece {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 1.0,
+            proc: 1,
+        });
+        s.push(Piece {
+            task: TaskId(1),
+            start: 1.0,
+            duration: 2.0,
+            proc: 0,
+        });
+        assert!(matches!(
+            s.validate(&js, false),
+            Err(PreemptiveError::SimultaneousPieces(TaskId(0)))
+        ));
+        assert!(
+            s.validate(&js, true).is_ok(),
+            "divisible semantics accept it"
+        );
+    }
+
+    #[test]
+    fn preemptive_bound_lower_bounds_the_moldable_optimum() {
+        // Preemption is a relaxation: McNaughton's C* never exceeds the
+        // exact moldable optimum of the bridged instance (works as
+        // linear tasks, so they match exactly here).
+        use demt_model::Instance;
+        let js = jobs(&[4.0, 6.0, 2.0]);
+        let m = 2;
+        let inst = Instance::new(m, js.iter().map(|j| to_moldable(j, m)).collect()).unwrap();
+        let opt = demt_exact::exact_cmax(&inst);
+        let pre = mcnaughton_optimum(&js, m);
+        assert!(pre <= opt.value + 1e-9);
+        assert!(
+            (pre - opt.value).abs() < 1e-9,
+            "linear tasks: relaxation is tight"
+        );
+    }
+}

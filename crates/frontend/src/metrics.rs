@@ -1,0 +1,161 @@
+//! Per-job response metrics — the quantities cluster operators actually
+//! watch (waiting time, response time, bounded slowdown) and their
+//! aggregates, computed from a schedule plus the submission stream.
+
+use crate::stream::SubmittedJob;
+use demt_platform::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Time spent in the queue: `start − release`.
+    pub wait: f64,
+    /// End-to-end response: `completion − release`.
+    pub response: f64,
+    /// Bounded slowdown `max(response / max(runtime, τ), 1)` — the
+    /// Feitelson metric that stops tiny jobs from dominating.
+    pub bounded_slowdown: f64,
+}
+
+/// Aggregates over a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamMetrics {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Mean waiting time.
+    pub mean_wait: f64,
+    /// Mean response time.
+    pub mean_response: f64,
+    /// Mean bounded slowdown.
+    pub mean_bounded_slowdown: f64,
+    /// 95th-percentile response time.
+    pub p95_response: f64,
+    /// Largest completion time (stream makespan).
+    pub makespan: f64,
+    /// Busy area over `m × makespan`.
+    pub utilization: f64,
+}
+
+/// The bounded-slowdown runtime floor τ (in the same time unit as the
+/// workloads; the classical value is "10 seconds").
+pub const SLOWDOWN_TAU: f64 = 0.5;
+
+/// Computes per-job metrics from a schedule over the stream. Panics if
+/// a job is missing from the schedule or starts before its release.
+pub fn job_metrics(jobs: &[SubmittedJob], schedule: &Schedule) -> Vec<JobMetrics> {
+    jobs.iter()
+        .map(|j| {
+            let p = schedule
+                .placement_of(j.task.id())
+                .unwrap_or_else(|| panic!("{} missing from schedule", j.task.id()));
+            let wait = p.start - j.release;
+            assert!(wait >= -1e-9, "{} starts before release", j.task.id());
+            let response = p.completion() - j.release;
+            let runtime = p.duration;
+            let bounded_slowdown = (response / runtime.max(SLOWDOWN_TAU)).max(1.0);
+            JobMetrics {
+                wait: wait.max(0.0),
+                response,
+                bounded_slowdown,
+            }
+        })
+        .collect()
+}
+
+/// Aggregates a stream's metrics.
+pub fn stream_metrics(jobs: &[SubmittedJob], schedule: &Schedule, m: usize) -> StreamMetrics {
+    let per_job = job_metrics(jobs, schedule);
+    let n = per_job.len();
+    assert!(n > 0, "metrics of an empty stream");
+    let mean = |f: fn(&JobMetrics) -> f64| per_job.iter().map(f).sum::<f64>() / n as f64;
+    let mut responses: Vec<f64> = per_job.iter().map(|j| j.response).collect();
+    responses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p95 = responses[((n as f64 * 0.95).ceil() as usize).min(n) - 1];
+    let makespan = schedule.makespan();
+    let first_release = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);
+    let span = (makespan - first_release.min(0.0)).max(f64::MIN_POSITIVE);
+    StreamMetrics {
+        jobs: n,
+        mean_wait: mean(|j| j.wait),
+        mean_response: mean(|j| j.response),
+        mean_bounded_slowdown: mean(|j| j.bounded_slowdown),
+        p95_response: p95,
+        makespan,
+        utilization: schedule.total_area() / (m as f64 * span),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demt_model::{MoldableTask, TaskId};
+    use demt_platform::Placement;
+
+    fn one_job_stream() -> (Vec<SubmittedJob>, Schedule) {
+        let task = MoldableTask::sequential(TaskId(0), 1.0, 2.0, 2).unwrap();
+        let jobs = vec![SubmittedJob {
+            task,
+            release: 1.0,
+            rigid_procs: 1,
+        }];
+        let mut s = Schedule::new(2);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 3.0,
+            duration: 2.0,
+            procs: vec![0],
+        });
+        (jobs, s)
+    }
+
+    #[test]
+    fn per_job_arithmetic() {
+        let (jobs, s) = one_job_stream();
+        let m = job_metrics(&jobs, &s);
+        assert_eq!(m.len(), 1);
+        assert!((m[0].wait - 2.0).abs() < 1e-12);
+        assert!((m[0].response - 4.0).abs() < 1e-12);
+        // runtime 2 > τ → slowdown = 4/2 = 2.
+        assert!((m[0].bounded_slowdown - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_floor_protects_tiny_jobs() {
+        let task = MoldableTask::sequential(TaskId(0), 1.0, 0.01, 1).unwrap();
+        let jobs = vec![SubmittedJob {
+            task,
+            release: 0.0,
+            rigid_procs: 1,
+        }];
+        let mut s = Schedule::new(1);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.5,
+            duration: 0.01,
+            procs: vec![0],
+        });
+        let m = job_metrics(&jobs, &s);
+        // Unbounded slowdown would be 51; bounded uses τ = 0.5 → 1.02.
+        assert!(m[0].bounded_slowdown < 1.1, "{}", m[0].bounded_slowdown);
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (jobs, s) = one_job_stream();
+        let agg = stream_metrics(&jobs, &s, 2);
+        assert_eq!(agg.jobs, 1);
+        assert!((agg.mean_wait - 2.0).abs() < 1e-12);
+        assert!((agg.p95_response - 4.0).abs() < 1e-12);
+        assert_eq!(agg.makespan, 5.0);
+        assert!(agg.utilization > 0.0 && agg.utilization <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from schedule")]
+    fn missing_job_is_detected() {
+        let (jobs, _) = one_job_stream();
+        let empty = Schedule::new(2);
+        let _ = job_metrics(&jobs, &empty);
+    }
+}

@@ -1,0 +1,145 @@
+//! Job streams: Poisson arrivals over a workload family, plus the
+//! rigid-request rule users apply when a scheduler cannot exploit
+//! moldability (paper §2.1: "the number of processors is fixed by the
+//! user at submission time").
+
+use demt_distr::{seeded_rng, Exponential, Variate};
+use demt_model::MoldableTask;
+use demt_workload::{generate, WorkloadKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One submitted job: the underlying moldable task, its arrival time,
+/// and the rigid allotment the user would have requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmittedJob {
+    /// The moldable task (id = submission index).
+    pub task: MoldableTask,
+    /// Arrival (release) time at the front-end.
+    pub release: f64,
+    /// The user's rigid processor request (see [`rigid_request`]).
+    pub rigid_procs: usize,
+}
+
+impl SubmittedJob {
+    /// Runtime at the rigid request.
+    pub fn rigid_time(&self) -> f64 {
+        self.task.time(self.rigid_procs)
+    }
+}
+
+/// Parameters of a submission stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Workload family the job shapes come from.
+    pub kind: WorkloadKind,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Cluster size `m`.
+    pub procs: usize,
+    /// Mean inter-arrival time (Poisson process).
+    pub mean_interarrival: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// The classic user request rule: the smallest allotment reaching 80%
+/// of the job's maximal speed-up ("the knee"), rounded up to a power of
+/// two and clamped to the machine — over-requesting, exactly the habit
+/// §2.1 describes as wasting resources.
+pub fn rigid_request(task: &MoldableTask, m: usize) -> usize {
+    let best = task.seq_time() / task.min_time();
+    let knee = (1..=m)
+        .find(|&k| task.seq_time() / task.time(k) >= 0.8 * best)
+        .unwrap_or(1);
+    knee.next_power_of_two().min(m).max(1)
+}
+
+/// Generates the stream: shapes from the workload family, exponential
+/// inter-arrival gaps, rigid requests by the knee rule.
+pub fn submit_stream(spec: &StreamSpec) -> Vec<SubmittedJob> {
+    let inst = generate(spec.kind, spec.jobs, spec.procs, spec.seed);
+    let mut rng = seeded_rng(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let gap = Exponential::with_mean(spec.mean_interarrival);
+    let mut t = 0.0;
+    inst.tasks()
+        .iter()
+        .map(|task| {
+            t += gap.sample(&mut rng);
+            // Occasional 2× over-request on top of the knee (30%).
+            let mut req = rigid_request(task, spec.procs);
+            if rng.random::<f64>() < 0.3 {
+                req = (req * 2).min(spec.procs);
+            }
+            SubmittedJob {
+                task: task.clone(),
+                release: t,
+                rigid_procs: req,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demt_model::TaskId;
+
+    fn spec() -> StreamSpec {
+        StreamSpec {
+            kind: WorkloadKind::Cirne,
+            jobs: 60,
+            procs: 32,
+            mean_interarrival: 0.5,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn stream_is_ordered_and_deterministic() {
+        let a = submit_stream(&spec());
+        let b = submit_stream(&spec());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        for w in a.windows(2) {
+            assert!(
+                w[1].release >= w[0].release,
+                "arrivals must be non-decreasing"
+            );
+        }
+        assert!(a[0].release > 0.0);
+    }
+
+    #[test]
+    fn rigid_requests_are_power_of_two_and_in_range() {
+        for j in submit_stream(&spec()) {
+            assert!(j.rigid_procs >= 1 && j.rigid_procs <= 32);
+            assert!(j.rigid_procs.is_power_of_two());
+            assert!(j.rigid_time() > 0.0);
+        }
+    }
+
+    #[test]
+    fn knee_rule_prefers_one_proc_for_sequential_tasks() {
+        let t = MoldableTask::sequential(TaskId(0), 1.0, 5.0, 16).unwrap();
+        assert_eq!(rigid_request(&t, 16), 1);
+    }
+
+    #[test]
+    fn knee_rule_scales_with_parallelism() {
+        let lin = MoldableTask::linear(TaskId(0), 1.0, 32.0, 32).unwrap();
+        // 80% of max speed-up (32) needs ≥ 26 procs → next pow2 = 32.
+        assert_eq!(rigid_request(&lin, 32), 32);
+    }
+
+    #[test]
+    fn mean_interarrival_is_respected() {
+        let mut s = spec();
+        s.jobs = 4000;
+        s.mean_interarrival = 2.0;
+        let jobs = submit_stream(&s);
+        let span = jobs.last().unwrap().release;
+        let mean = span / 4000.0;
+        assert!((mean - 2.0).abs() < 0.15, "empirical mean gap {mean}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # demt-kernels — combinatorial kernels
+//!
+//! Small, heavily-tested building blocks shared by the DEMT algorithm
+//! (`demt-core`) and the dual-approximation substrate (`demt-dual`):
+//!
+//! * [`max_weight_knapsack`] — the paper's §3.2 batch-selection DP,
+//!   `O(mn)` with exact set reconstruction;
+//! * [`min_area_partition`] — the two-shelf assignment knapsack of the
+//!   dual approximation;
+//! * [`pack_chains`] — merging of small sequential tasks by decreasing
+//!   weight (the "stacking" step of §3.2);
+//! * [`bisect_threshold`] — monotone bisection used by the dual
+//!   approximation's binary search on the target makespan.
+//!
+//! A `proptest` suite (`tests/` of this crate) cross-checks the DPs
+//! against brute force on exhaustive small instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bisect;
+mod knapsack;
+mod stack;
+
+pub use bisect::{bisect_threshold, Threshold};
+pub use knapsack::{
+    max_weight_knapsack, min_area_partition, ShelfChoice, ShelfItem, ShelfPartition, WeightItem,
+    WeightSelection,
+};
+pub use stack::{pack_chains, Chain, StackItem};

@@ -1,0 +1,38 @@
+//! # demt-lp — dense two-phase primal simplex
+//!
+//! The paper's minsum lower bound (§3.3) is the optimum of a relaxed
+//! interval-indexed linear program. No LP solver is in the sanctioned
+//! dependency set, so this crate implements one from scratch: a
+//! full-tableau two-phase primal simplex with Dantzig pricing, a Bland
+//! anti-cycling fallback, and explicit infeasible/unbounded detection.
+//!
+//! The target problems (a few hundred rows × a few thousand columns,
+//! mostly sparse covering/packing structure) are well within the dense
+//! tableau's comfort zone; property tests cross-check optima against
+//! brute-force vertex enumeration on small random programs.
+//!
+//! ```
+//! use demt_lp::{LinearProgram, Relation};
+//! // min 3x + y  s.t.  x + y ≥ 2,  x ≤ 1
+//! let mut lp = LinearProgram::minimize(vec![3.0, 1.0]);
+//! lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
+//! lp.constrain(vec![(0, 1.0)], Relation::Le, 1.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 2.0).abs() < 1e-9); // x = 0, y = 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod problem;
+mod simplex;
+
+pub use problem::{Constraint, LinearProgram, Relation};
+pub use simplex::{solve, LpError, Solution};
+
+impl LinearProgram {
+    /// Solves the program with the two-phase simplex ([`solve`]).
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        solve(self)
+    }
+}

@@ -1,0 +1,147 @@
+//! Linear-program description: `min c·x` s.t. sparse rows, `x ≥ 0`.
+
+/// Relation of one constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aⱼ xⱼ ≤ b`.
+    Le,
+    /// `Σ aⱼ xⱼ ≥ b`.
+    Ge,
+    /// `Σ aⱼ xⱼ = b`.
+    Eq,
+}
+
+/// One constraint: sparse coefficients, relation, right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; duplicate indices are
+    /// summed at solve time.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation to the right-hand side.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization LP over non-negative variables.
+///
+/// ```
+/// use demt_lp::{LinearProgram, Relation};
+/// // min x + 2y  s.t.  x + y ≥ 1, y ≤ 3
+/// let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+/// lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 1.0);
+/// lp.constrain(vec![(1, 1.0)], Relation::Le, 3.0);
+/// let sol = lp.solve().unwrap();
+/// assert!((sol.objective - 1.0).abs() < 1e-9); // x = 1, y = 0
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Starts `min c·x` with the given cost vector (one entry per
+    /// variable; all variables are implicitly `≥ 0`).
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective coefficients must be finite"
+        );
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The cost vector.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint row.
+    pub fn constrain(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "right-hand side must be finite");
+        for &(j, a) in &coeffs {
+            assert!(j < self.num_vars(), "variable index {j} out of range");
+            assert!(a.is_finite(), "coefficient must be finite");
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Evaluates `c·x` for a candidate point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of a candidate point to tolerance
+    /// `tol` (used by tests for weak-duality arguments).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(j, a)| a * x[j]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_rows() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 2.0)], Relation::Le, 4.0);
+        lp.constrain(vec![(1, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 2);
+    }
+
+    #[test]
+    fn feasibility_probe() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 1.0);
+        assert!(lp.is_feasible(&[0.5, 0.6], 1e-9));
+        assert!(!lp.is_feasible(&[0.2, 0.2], 1e-9));
+        assert!(!lp.is_feasible(&[-0.1, 1.5], 1e-9));
+        assert!((lp.objective_value(&[0.5, 0.6]) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_variable_index() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(3, 1.0)], Relation::Le, 1.0);
+    }
+}

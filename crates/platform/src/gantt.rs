@@ -1,0 +1,87 @@
+//! ASCII Gantt rendering for examples and debugging.
+
+use crate::Schedule;
+
+/// Renders a schedule as an ASCII Gantt chart: one row per processor,
+/// time flowing left to right over `width` columns, each cell showing
+/// the task occupying the processor at that instant (`.` for idle).
+/// Tasks are labelled by id modulo an alphanumeric alphabet, so charts
+/// are only unambiguous for small demos — which is their purpose.
+pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
+    const ALPHABET: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    let width = width.max(10);
+    let horizon = schedule.makespan();
+    let m = schedule.procs();
+    if horizon <= 0.0 || schedule.is_empty() {
+        return format!("(empty schedule on {m} processors)\n");
+    }
+    let mut grid = vec![vec![b'.'; width]; m];
+    for p in schedule.placements() {
+        let c0 = ((p.start / horizon) * width as f64).floor() as usize;
+        let c1 = ((p.completion() / horizon) * width as f64).ceil() as usize;
+        let c1 = c1.clamp(c0 + 1, width);
+        let label = ALPHABET[p.task.index() % ALPHABET.len()];
+        for &q in &p.procs {
+            for cell in grid[q as usize][c0..c1].iter_mut() {
+                *cell = label;
+            }
+        }
+    }
+    let mut out = String::with_capacity((width + 16) * (m + 2));
+    out.push_str(&format!("t = 0 {:>w$.2}\n", horizon, w = width));
+    for (q, row) in grid.iter().enumerate() {
+        out.push_str(&format!("p{q:<3} |"));
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Placement;
+    use demt_model::TaskId;
+
+    #[test]
+    fn renders_tasks_and_idle_time() {
+        let mut s = Schedule::new(2);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 5.0,
+            procs: vec![0],
+        });
+        s.push(Placement {
+            task: TaskId(1),
+            start: 5.0,
+            duration: 5.0,
+            procs: vec![0, 1],
+        });
+        let g = render_gantt(&s, 20);
+        assert!(g.contains('0'), "{g}");
+        assert!(g.contains('1'), "{g}");
+        assert!(g.contains('.'), "processor 1 idles early:\n{g}");
+        assert_eq!(g.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = Schedule::new(3);
+        assert!(render_gantt(&s, 40).contains("empty schedule"));
+    }
+
+    #[test]
+    fn every_processor_gets_a_row() {
+        let mut s = Schedule::new(5);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 1.0,
+            procs: vec![4],
+        });
+        let g = render_gantt(&s, 12);
+        assert_eq!(g.lines().count(), 6);
+        assert!(g.lines().last().unwrap().contains('0'));
+    }
+}

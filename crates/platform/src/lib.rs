@@ -1,0 +1,37 @@
+//! # demt-platform — cluster scheduling substrate
+//!
+//! Everything a moldable-task scheduler needs besides the scheduling
+//! decision itself:
+//!
+//! * [`Schedule`] / [`Placement`] — explicit start times and processor
+//!   sets (§2.2's `σ` and `nbproc` functions);
+//! * [`Criteria`] — the paper's two objectives (`Cmax`, `Σ wᵢ Cᵢ`) plus
+//!   auxiliary metrics;
+//! * [`validate`] — a full feasibility audit run on every algorithm
+//!   output in tests and the harness;
+//! * [`list_schedule`] — the Graham-style event-driven list engine used
+//!   by the baselines and by DEMT's compaction;
+//! * [`pull_earlier`] — the "slide left on idle processors" compaction
+//!   pass;
+//! * [`backfill_schedule`] — conservative backfilling around node
+//!   [`Reservation`]s (the §5 open problem / MAUI-style discipline);
+//! * [`render_gantt`] — ASCII Gantt charts for the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compact;
+mod criteria;
+mod gantt;
+mod list;
+mod reserve;
+mod schedule;
+mod validate;
+
+pub use compact::pull_earlier;
+pub use criteria::Criteria;
+pub use gantt::render_gantt;
+pub use list::{list_schedule, ListPolicy, ListTask};
+pub use reserve::{backfill_schedule, Reservation};
+pub use schedule::{Placement, Schedule};
+pub use validate::{assert_valid, validate, validate_with_releases, ValidationError};

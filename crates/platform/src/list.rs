@@ -1,0 +1,295 @@
+//! Event-driven list scheduling for parallel tasks with fixed allotments.
+//!
+//! This is the Graham-style multiprocessor list scheduling of Garey &
+//! Graham [11 of the paper], generalized to tasks requiring `k`
+//! processors: whenever processors free up, the first task in list order
+//! that *fits* the available count starts immediately. It is the engine
+//! behind the three "List" baselines (§4.1) and behind DEMT's compaction
+//! step (§3.2), which runs it with the batch ordering.
+//!
+//! Two policies are provided:
+//!
+//! * [`ListPolicy::Greedy`] — classic Graham: any fitting task may jump
+//!   ahead of a non-fitting earlier task (work-conserving);
+//! * [`ListPolicy::Ordered`] — each task, taken strictly in list order,
+//!   starts at the earliest instant where its allotment is available on
+//!   the processor-availability *frontier* (no hole-filling: once a wide
+//!   task pushes the frontier, earlier idle intervals are gone — the
+//!   conservative, FCFS-like discipline). Used for ablations.
+
+use crate::{Placement, Schedule};
+use demt_model::TaskId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One entry of the priority list: a task with a fixed allotment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListTask {
+    /// Task id (used only to label the placement).
+    pub id: TaskId,
+    /// Number of processors the task must receive.
+    pub alloc: usize,
+    /// Its processing time on that allotment.
+    pub duration: f64,
+    /// Earliest legal start (0 off-line; release date on-line).
+    pub ready: f64,
+}
+
+impl ListTask {
+    /// Off-line entry (ready at 0).
+    pub fn new(id: TaskId, alloc: usize, duration: f64) -> Self {
+        Self {
+            id,
+            alloc,
+            duration,
+            ready: 0.0,
+        }
+    }
+}
+
+/// Dispatch discipline of the list engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListPolicy {
+    /// Graham list scheduling: on every state change start *every*
+    /// fitting task, scanning the list in priority order.
+    Greedy,
+    /// Strict order: task `i` is placed (at its earliest feasible start)
+    /// before task `i+1` is considered.
+    Ordered,
+}
+
+/// Runs the list engine on `m` processors. Panics if any allotment
+/// exceeds `m` or is zero, or if a duration is not positive and finite.
+///
+/// ```
+/// use demt_platform::{list_schedule, ListPolicy, ListTask};
+/// use demt_model::TaskId;
+/// // Two 2-processor tasks side by side on 4 processors.
+/// let tasks = [ListTask::new(TaskId(0), 2, 3.0), ListTask::new(TaskId(1), 2, 3.0)];
+/// let s = list_schedule(4, &tasks, ListPolicy::Greedy);
+/// assert_eq!(s.makespan(), 3.0);
+/// ```
+pub fn list_schedule(m: usize, tasks: &[ListTask], policy: ListPolicy) -> Schedule {
+    for t in tasks {
+        assert!(
+            t.alloc >= 1 && t.alloc <= m,
+            "{}: allotment {} outside 1..={m}",
+            t.id,
+            t.alloc
+        );
+        assert!(
+            t.duration.is_finite() && t.duration > 0.0,
+            "{}: bad duration",
+            t.id
+        );
+        assert!(
+            t.ready.is_finite() && t.ready >= 0.0,
+            "{}: bad ready time",
+            t.id
+        );
+    }
+    match policy {
+        ListPolicy::Greedy => greedy(m, tasks),
+        ListPolicy::Ordered => ordered(m, tasks),
+    }
+}
+
+/// Wrapper ordering f64 event times inside a `BinaryHeap`.
+#[derive(PartialEq)]
+struct EventTime(f64);
+impl Eq for EventTime {}
+impl PartialOrd for EventTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("event times are finite")
+    }
+}
+
+fn greedy(m: usize, tasks: &[ListTask]) -> Schedule {
+    let mut schedule = Schedule::new(m);
+    let n = tasks.len();
+    let mut placed = vec![false; n];
+    let mut remaining = n;
+
+    // Free processors as a sorted free-list (indices ascending).
+    let mut free: Vec<u32> = (0..m as u32).collect();
+    // Completion events: (time, processors to release).
+    let mut events: BinaryHeap<(Reverse<EventTime>, Vec<u32>)> = BinaryHeap::new();
+    let mut now = 0.0_f64;
+
+    while remaining > 0 {
+        // Start every fitting ready task, in list order. Restart the scan
+        // after each placement: an earlier non-fitting task never blocks
+        // later ones (Graham), but placements change the free count.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (i, t) in tasks.iter().enumerate() {
+                if placed[i] || t.ready > now + 1e-15 || t.alloc > free.len() {
+                    continue;
+                }
+                // Take the `alloc` lowest-indexed free processors.
+                let procs: Vec<u32> = free.drain(..t.alloc).collect();
+                schedule.push(Placement {
+                    task: t.id,
+                    start: now,
+                    duration: t.duration,
+                    procs: procs.clone(),
+                });
+                events.push((Reverse(EventTime(now + t.duration)), procs));
+                placed[i] = true;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // Advance time: to the next completion, or to the next release if
+        // it comes sooner (or if no event is pending).
+        let next_release = tasks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !placed[*i] && t.ready > now + 1e-15)
+            .map(|(_, t)| t.ready)
+            .fold(f64::INFINITY, f64::min);
+        let next_event = events
+            .peek()
+            .map(|(Reverse(EventTime(t)), _)| *t)
+            .unwrap_or(f64::INFINITY);
+        let next = next_event.min(next_release);
+        assert!(
+            next.is_finite(),
+            "list engine stalled: no event and no release"
+        );
+        now = next;
+        // Release all processors freed at (or before) `now`.
+        while let Some((Reverse(EventTime(t)), _)) = events.peek() {
+            if *t <= now + 1e-15 {
+                let (_, procs) = events.pop().expect("peeked");
+                free.extend(procs);
+            } else {
+                break;
+            }
+        }
+        free.sort_unstable();
+    }
+    schedule
+}
+
+fn ordered(m: usize, tasks: &[ListTask]) -> Schedule {
+    let mut schedule = Schedule::new(m);
+    // Per-processor availability time.
+    let mut avail: Vec<(f64, u32)> = (0..m as u32).map(|q| (0.0, q)).collect();
+    for t in tasks {
+        // The k processors that free earliest give the earliest start.
+        avail.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let start = avail[t.alloc - 1].0.max(t.ready);
+        let mut procs: Vec<u32> = avail[..t.alloc].iter().map(|&(_, q)| q).collect();
+        procs.sort_unstable();
+        for slot in avail[..t.alloc].iter_mut() {
+            slot.0 = start + t.duration;
+        }
+        schedule.push(Placement {
+            task: t.id,
+            start,
+            duration: t.duration,
+            procs,
+        });
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lt(id: usize, alloc: usize, duration: f64) -> ListTask {
+        ListTask::new(TaskId(id), alloc, duration)
+    }
+
+    #[test]
+    fn greedy_packs_parallel_work() {
+        // Two 2-proc tasks fit side by side on 4 processors.
+        let s = list_schedule(4, &[lt(0, 2, 3.0), lt(1, 2, 3.0)], ListPolicy::Greedy);
+        assert_eq!(s.makespan(), 3.0);
+        assert_eq!(s.placements()[0].start, 0.0);
+        assert_eq!(s.placements()[1].start, 0.0);
+    }
+
+    #[test]
+    fn greedy_backfills_past_blocked_head() {
+        // Head task needs 3 procs (blocked until t=2); the 1-proc task
+        // behind it starts immediately.
+        let tasks = [lt(0, 2, 2.0), lt(1, 3, 1.0), lt(2, 1, 1.0)];
+        let s = list_schedule(3, &tasks, ListPolicy::Greedy);
+        let p2 = s.placement_of(TaskId(2)).unwrap();
+        assert_eq!(p2.start, 0.0, "Graham fills the idle processor");
+        let p1 = s.placement_of(TaskId(1)).unwrap();
+        assert_eq!(p1.start, 2.0);
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn ordered_respects_strict_order() {
+        let tasks = [lt(0, 2, 2.0), lt(1, 3, 1.0), lt(2, 1, 1.0)];
+        let s = list_schedule(3, &tasks, ListPolicy::Ordered);
+        let p1 = s.placement_of(TaskId(1)).unwrap();
+        assert_eq!(p1.start, 2.0);
+        // No hole-filling: the wide task 1 pushed the frontier of every
+        // processor to t=3, so task 2 waits even though processor 2 was
+        // idle during [0, 2) (contrast with the Greedy test above).
+        let p2 = s.placement_of(TaskId(2)).unwrap();
+        assert_eq!(p2.start, 3.0);
+        assert_eq!(s.makespan(), 4.0);
+    }
+
+    #[test]
+    fn ready_times_delay_starts() {
+        let mut t = lt(0, 1, 1.0);
+        t.ready = 5.0;
+        for policy in [ListPolicy::Greedy, ListPolicy::Ordered] {
+            let s = list_schedule(2, &[t], policy);
+            assert_eq!(s.placements()[0].start, 5.0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_graham_bound_on_sequential_tasks() {
+        // 7 unit tasks, 3 procs: optimal 3 units; Graham ≤ 2-1/m times
+        // optimal, and here it is exactly ceil(7/3) = 3.
+        let tasks: Vec<ListTask> = (0..7).map(|i| lt(i, 1, 1.0)).collect();
+        let s = list_schedule(3, &tasks, ListPolicy::Greedy);
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn full_machine_tasks_serialize() {
+        let tasks = [lt(0, 4, 1.0), lt(1, 4, 2.0)];
+        let s = list_schedule(4, &tasks, ListPolicy::Greedy);
+        assert_eq!(s.makespan(), 3.0);
+        let p1 = s.placement_of(TaskId(1)).unwrap();
+        assert_eq!(p1.start, 1.0);
+    }
+
+    #[test]
+    fn both_policies_agree_on_independent_unit_tasks() {
+        let tasks: Vec<ListTask> = (0..6).map(|i| lt(i, 1, 2.0)).collect();
+        let g = list_schedule(6, &tasks, ListPolicy::Greedy);
+        let o = list_schedule(6, &tasks, ListPolicy::Ordered);
+        assert_eq!(g.makespan(), 2.0);
+        assert_eq!(o.makespan(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "allotment")]
+    fn oversized_allotment_rejected() {
+        let _ = list_schedule(2, &[lt(0, 3, 1.0)], ListPolicy::Greedy);
+    }
+}

@@ -1,0 +1,211 @@
+//! Schedule representation: explicit placements on explicit processors.
+
+use demt_model::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled task: start time and the exact set of processor
+/// indices it occupies for `duration`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The task being placed.
+    pub task: TaskId,
+    /// Start time (`σ(i)` in the paper).
+    pub start: f64,
+    /// Execution time on `procs.len()` processors — must equal
+    /// `pᵢ(|procs|)`; the validator checks this against the instance.
+    pub duration: f64,
+    /// Processor indices, strictly increasing, all `< m`.
+    pub procs: Vec<u32>,
+}
+
+impl Placement {
+    /// Completion time `Cᵢ = σ(i) + pᵢ(nbproc(i))`.
+    #[inline]
+    pub fn completion(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// Allotment size `nbproc(i)`.
+    #[inline]
+    pub fn alloc(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Area (processors × time) occupied by the placement.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.alloc() as f64 * self.duration
+    }
+}
+
+/// A complete schedule on `m` processors.
+///
+/// Construction is unchecked — algorithms build schedules incrementally —
+/// and [`crate::validate`] performs the full audit (one placement per
+/// task, durations consistent with the instance, no processor used by
+/// two tasks at once).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    procs: usize,
+    placements: Vec<Placement>,
+}
+
+impl Schedule {
+    /// Empty schedule on `m` processors.
+    pub fn new(procs: usize) -> Self {
+        assert!(procs > 0, "schedule needs at least one processor");
+        Self {
+            procs,
+            placements: Vec::new(),
+        }
+    }
+
+    /// Schedule from pre-built placements.
+    pub fn from_placements(procs: usize, placements: Vec<Placement>) -> Self {
+        assert!(procs > 0, "schedule needs at least one processor");
+        Self { procs, placements }
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// All placements, in insertion order.
+    #[inline]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Mutable access for in-place compaction passes.
+    #[inline]
+    pub fn placements_mut(&mut self) -> &mut [Placement] {
+        &mut self.placements
+    }
+
+    /// Adds a placement.
+    pub fn push(&mut self, p: Placement) {
+        debug_assert!(
+            p.procs.windows(2).all(|w| w[0] < w[1]),
+            "proc set must be sorted unique"
+        );
+        self.placements.push(p);
+    }
+
+    /// Number of placements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when nothing is scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Lookup of a task's placement (linear; schedules are small).
+    pub fn placement_of(&self, task: TaskId) -> Option<&Placement> {
+        self.placements.iter().find(|p| p.task == task)
+    }
+
+    /// Makespan `Cmax = max Cᵢ` (0 for empty schedules).
+    pub fn makespan(&self) -> f64 {
+        self.placements
+            .iter()
+            .map(Placement::completion)
+            .fold(0.0, f64::max)
+    }
+
+    /// Completion-time vector indexed by task id; `None` where a task
+    /// has no (or several) placements is not detected here — run the
+    /// validator for that.
+    pub fn completions(&self, n: usize) -> Vec<Option<f64>> {
+        let mut out = vec![None; n];
+        for p in &self.placements {
+            out[p.task.index()] = Some(p.completion());
+        }
+        out
+    }
+
+    /// Total occupied area Σ areaᵢ.
+    pub fn total_area(&self) -> f64 {
+        self.placements.iter().map(Placement::area).sum()
+    }
+
+    /// Sorts placements by start time (stable), normalizing the order
+    /// for comparisons and rendering.
+    pub fn sort_by_start(&mut self) {
+        self.placements.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap()
+                .then(a.task.cmp(&b.task))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placement(task: usize, start: f64, duration: f64, procs: &[u32]) -> Placement {
+        Placement {
+            task: TaskId(task),
+            start,
+            duration,
+            procs: procs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn completion_alloc_area() {
+        let p = placement(0, 2.0, 3.0, &[1, 4, 5]);
+        assert_eq!(p.completion(), 5.0);
+        assert_eq!(p.alloc(), 3);
+        assert_eq!(p.area(), 9.0);
+    }
+
+    #[test]
+    fn makespan_over_placements() {
+        let mut s = Schedule::new(4);
+        assert_eq!(s.makespan(), 0.0);
+        s.push(placement(0, 0.0, 4.0, &[0]));
+        s.push(placement(1, 1.0, 2.0, &[1, 2]));
+        assert_eq!(s.makespan(), 4.0);
+        assert_eq!(s.total_area(), 8.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn completions_indexed_by_task() {
+        let mut s = Schedule::new(2);
+        s.push(placement(1, 0.0, 2.5, &[0]));
+        let c = s.completions(3);
+        assert_eq!(c, vec![None, Some(2.5), None]);
+    }
+
+    #[test]
+    fn placement_lookup() {
+        let mut s = Schedule::new(2);
+        s.push(placement(7, 1.0, 1.0, &[1]));
+        assert!(s.placement_of(TaskId(7)).is_some());
+        assert!(s.placement_of(TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn sort_by_start_normalizes() {
+        let mut s = Schedule::new(2);
+        s.push(placement(1, 5.0, 1.0, &[0]));
+        s.push(placement(0, 0.0, 1.0, &[1]));
+        s.sort_by_start();
+        assert_eq!(s.placements()[0].task, TaskId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_proc_schedule_rejected() {
+        let _ = Schedule::new(0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Full schedule audit.
+//!
+//! Algorithms in this workspace never trust themselves: every scheduler
+//! output is re-checked against the instance by [`validate`] (or
+//! [`validate_with_releases`] in the on-line setting), which verifies
+//! all invariants of a feasible moldable-task schedule.
+
+use crate::Schedule;
+use demt_model::{approx_eq, Instance, TaskId, REL_EPS};
+use std::fmt;
+
+/// Violations detected by the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// A task appears in no placement.
+    MissingTask(TaskId),
+    /// A task appears in several placements.
+    DuplicateTask(TaskId),
+    /// A placement references a task id outside the instance.
+    UnknownTask(TaskId),
+    /// A placement has an empty processor set.
+    EmptyAllotment(TaskId),
+    /// Processor indices not strictly increasing or out of range.
+    BadProcessorSet(TaskId),
+    /// Placement duration disagrees with `pᵢ(k)` for its allotment.
+    WrongDuration {
+        /// Offending task.
+        task: TaskId,
+        /// Duration recorded in the placement.
+        placed: f64,
+        /// `pᵢ(k)` from the instance.
+        expected: f64,
+    },
+    /// A task starts before time 0 (or before its release date).
+    StartsTooEarly {
+        /// Offending task.
+        task: TaskId,
+        /// Its start time.
+        start: f64,
+        /// Earliest legal start.
+        earliest: f64,
+    },
+    /// Two tasks overlap on a processor.
+    ProcessorConflict {
+        /// The processor.
+        proc: u32,
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ValidationError::MissingTask(t) => write!(f, "{t} is not scheduled"),
+            ValidationError::DuplicateTask(t) => write!(f, "{t} is scheduled more than once"),
+            ValidationError::UnknownTask(t) => write!(f, "{t} does not exist in the instance"),
+            ValidationError::EmptyAllotment(t) => write!(f, "{t} has an empty processor set"),
+            ValidationError::BadProcessorSet(t) => {
+                write!(
+                    f,
+                    "{t} has an unsorted, duplicated or out-of-range processor set"
+                )
+            }
+            ValidationError::WrongDuration {
+                task,
+                placed,
+                expected,
+            } => {
+                write!(f, "{task}: placed duration {placed} but p(k) = {expected}")
+            }
+            ValidationError::StartsTooEarly {
+                task,
+                start,
+                earliest,
+            } => {
+                write!(
+                    f,
+                    "{task}: starts at {start} before its earliest legal start {earliest}"
+                )
+            }
+            ValidationError::ProcessorConflict { proc, a, b } => {
+                write!(f, "processor {proc}: {a} and {b} overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates an off-line schedule (all tasks available at time 0).
+pub fn validate(instance: &Instance, schedule: &Schedule) -> Result<(), ValidationError> {
+    validate_with_releases(instance, schedule, None)
+}
+
+/// Validates a schedule with optional per-task release dates (indexed by
+/// task id; `None` means all zero).
+pub fn validate_with_releases(
+    instance: &Instance,
+    schedule: &Schedule,
+    releases: Option<&[f64]>,
+) -> Result<(), ValidationError> {
+    let n = instance.len();
+    let m = instance.procs();
+    if let Some(r) = releases {
+        assert_eq!(r.len(), n, "release vector length mismatch");
+    }
+
+    let mut seen = vec![false; n];
+    // Per-processor interval lists for the overlap check.
+    let mut proc_intervals: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); m];
+
+    for p in schedule.placements() {
+        let id = p.task;
+        if id.index() >= n {
+            return Err(ValidationError::UnknownTask(id));
+        }
+        if seen[id.index()] {
+            return Err(ValidationError::DuplicateTask(id));
+        }
+        seen[id.index()] = true;
+
+        if p.procs.is_empty() {
+            return Err(ValidationError::EmptyAllotment(id));
+        }
+        let sorted_unique = p.procs.windows(2).all(|w| w[0] < w[1]);
+        if !sorted_unique || p.procs.last().map(|&x| x as usize >= m).unwrap_or(false) {
+            return Err(ValidationError::BadProcessorSet(id));
+        }
+
+        let expected = instance.task(id).time(p.procs.len());
+        if !approx_eq(p.duration, expected) {
+            return Err(ValidationError::WrongDuration {
+                task: id,
+                placed: p.duration,
+                expected,
+            });
+        }
+
+        let earliest = releases.map(|r| r[id.index()]).unwrap_or(0.0);
+        if p.start < earliest - REL_EPS * earliest.abs().max(1.0) {
+            return Err(ValidationError::StartsTooEarly {
+                task: id,
+                start: p.start,
+                earliest,
+            });
+        }
+
+        for &q in &p.procs {
+            proc_intervals[q as usize].push((p.start, p.completion(), id));
+        }
+    }
+
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(ValidationError::MissingTask(TaskId(missing)));
+    }
+
+    for (q, intervals) in proc_intervals.iter_mut().enumerate() {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            let (_, end_a, task_a) = w[0];
+            let (start_b, _, task_b) = w[1];
+            // Touching intervals are fine; only true overlap is an error.
+            if start_b < end_a - REL_EPS * end_a.abs().max(1.0) {
+                return Err(ValidationError::ProcessorConflict {
+                    proc: q as u32,
+                    a: task_a,
+                    b: task_b,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper for tests and examples.
+pub fn assert_valid(instance: &Instance, schedule: &Schedule) {
+    if let Err(e) = validate(instance, schedule) {
+        panic!("invalid schedule: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Placement;
+    use demt_model::InstanceBuilder;
+
+    fn instance() -> Instance {
+        let mut b = InstanceBuilder::new(3);
+        b.push_times(1.0, vec![4.0, 2.0, 1.5]).unwrap();
+        b.push_times(1.0, vec![3.0, 2.0, 2.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ok_schedule() -> Schedule {
+        let mut s = Schedule::new(3);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 2.0,
+            procs: vec![0, 1],
+        });
+        s.push(Placement {
+            task: TaskId(1),
+            start: 2.0,
+            duration: 2.0,
+            procs: vec![1, 2],
+        });
+        s
+    }
+
+    #[test]
+    fn accepts_feasible_schedule() {
+        validate(&instance(), &ok_schedule()).unwrap();
+    }
+
+    #[test]
+    fn accepts_back_to_back_on_same_processor() {
+        // Task 1 starts exactly when task 0 ends on processor 1.
+        validate(&instance(), &ok_schedule()).unwrap();
+    }
+
+    #[test]
+    fn detects_missing_task() {
+        let mut s = Schedule::new(3);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 2.0,
+            procs: vec![0, 1],
+        });
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::MissingTask(TaskId(1)))
+        );
+    }
+
+    #[test]
+    fn detects_duplicate_and_unknown() {
+        let mut s = ok_schedule();
+        s.push(Placement {
+            task: TaskId(0),
+            start: 5.0,
+            duration: 4.0,
+            procs: vec![0],
+        });
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::DuplicateTask(TaskId(0)))
+        );
+
+        let mut s = ok_schedule();
+        s.push(Placement {
+            task: TaskId(9),
+            start: 5.0,
+            duration: 1.0,
+            procs: vec![0],
+        });
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::UnknownTask(TaskId(9)))
+        );
+    }
+
+    #[test]
+    fn detects_wrong_duration() {
+        let mut s = ok_schedule();
+        s.placements_mut()[0].duration = 3.0; // p(2) is 2.0
+        assert!(matches!(
+            validate(&instance(), &s),
+            Err(ValidationError::WrongDuration {
+                task: TaskId(0),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let mut s = Schedule::new(3);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 2.0,
+            procs: vec![0, 1],
+        });
+        s.push(Placement {
+            task: TaskId(1),
+            start: 1.0,
+            duration: 2.0,
+            procs: vec![1, 2],
+        });
+        assert!(matches!(
+            validate(&instance(), &s),
+            Err(ValidationError::ProcessorConflict { proc: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_processor_sets() {
+        let mut s = ok_schedule();
+        s.placements_mut()[0].procs = vec![1, 0];
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::BadProcessorSet(TaskId(0)))
+        );
+
+        let mut s = ok_schedule();
+        s.placements_mut()[0].procs = vec![0, 7];
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::BadProcessorSet(TaskId(0)))
+        );
+
+        let mut s = ok_schedule();
+        s.placements_mut()[0].procs = vec![];
+        assert_eq!(
+            validate(&instance(), &s),
+            Err(ValidationError::EmptyAllotment(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn detects_negative_start_and_release_violation() {
+        let mut s = ok_schedule();
+        s.placements_mut()[0].start = -0.5;
+        assert!(matches!(
+            validate(&instance(), &s),
+            Err(ValidationError::StartsTooEarly {
+                task: TaskId(0),
+                ..
+            })
+        ));
+
+        let s = ok_schedule();
+        let releases = vec![0.0, 3.0];
+        assert!(matches!(
+            validate_with_releases(&instance(), &s, Some(&releases)),
+            Err(ValidationError::StartsTooEarly {
+                task: TaskId(1),
+                ..
+            })
+        ));
+        let releases = vec![0.0, 2.0];
+        validate_with_releases(&instance(), &s, Some(&releases)).unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! DEMT design-choice ablation (the experiment index of DESIGN.md):
+//! merging on/off, compaction pipeline depth, shuffle budget — each
+//! design ingredient of §3.2 measured in isolation against the same
+//! lower bounds as the main figures.
+
+use crate::experiment::ExperimentConfig;
+use demt_bounds::{instance_bounds, BoundConfig};
+use demt_core::{demt_schedule, Compaction, DemtConfig};
+use demt_platform::Criteria;
+use demt_workload::{generate, WorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// The standard ablation variants of DEMT's pipeline.
+pub fn ablation_variants() -> Vec<(&'static str, DemtConfig)> {
+    vec![
+        ("paper-default", DemtConfig::default()),
+        (
+            "no-merge",
+            DemtConfig {
+                merge_small: false,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "raw-batches",
+            DemtConfig {
+                compaction: Compaction::None,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "pull-earlier-only",
+            DemtConfig {
+                compaction: Compaction::PullEarlier,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "list-no-shuffle",
+            DemtConfig {
+                compaction: Compaction::List,
+                ..DemtConfig::default()
+            },
+        ),
+        (
+            "shuffle-x32",
+            DemtConfig {
+                shuffles: 32,
+                ..DemtConfig::default()
+            },
+        ),
+    ]
+}
+
+/// One row of the ablation table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Workload family.
+    pub workload: &'static str,
+    /// Variant name (see [`ablation_variants`]).
+    pub variant: &'static str,
+    /// Average `Σ wᵢCᵢ` ratio (ratio of sums over the runs).
+    pub wici_ratio: f64,
+    /// Average `Cmax` ratio.
+    pub cmax_ratio: f64,
+}
+
+/// Runs the ablation on the mid-size point of the sweep, all families.
+pub fn run_ablation(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    let n = *cfg
+        .task_counts
+        .get(cfg.task_counts.len() / 2)
+        .unwrap_or(&100);
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for (name, demt_cfg) in ablation_variants() {
+            let mut sum_wici = 0.0;
+            let mut sum_wici_lb = 0.0;
+            let mut sum_cmax = 0.0;
+            let mut sum_cmax_lb = 0.0;
+            for run in 0..cfg.runs {
+                let seed = cfg.seed_base ^ ((run as u64) << 8) ^ kind.figure() as u64;
+                let inst = generate(kind, n, cfg.procs, seed);
+                let bounds = instance_bounds(&inst, &BoundConfig::default());
+                let r = demt_schedule(&inst, &demt_cfg);
+                let c = Criteria::evaluate(&inst, &r.schedule);
+                sum_wici += c.weighted_completion;
+                sum_wici_lb += bounds.minsum;
+                sum_cmax += c.makespan;
+                sum_cmax_lb += bounds.cmax;
+            }
+            rows.push(AblationRow {
+                workload: kind.name(),
+                variant: name,
+                wici_ratio: sum_wici / sum_wici_lb,
+                cmax_ratio: sum_cmax / sum_cmax_lb,
+            });
+        }
+    }
+    rows
+}
+
+/// CSV rendering of the ablation rows.
+pub fn ablation_csv(rows: &[AblationRow]) -> String {
+    let mut s = String::from("workload,variant,wici_ratio,cmax_ratio\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{:.6},{:.6}\n",
+            r.workload, r.variant, r.wici_ratio, r.cmax_ratio
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_and_orders_variants_sanely() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![16];
+        cfg.runs = 2;
+        let rows = run_ablation(&cfg);
+        assert_eq!(rows.len(), 4 * ablation_variants().len());
+        for r in &rows {
+            assert!(r.wici_ratio >= 1.0 - 1e-6, "{r:?}");
+            assert!(r.cmax_ratio >= 1.0 - 1e-6, "{r:?}");
+        }
+        // The full pipeline is never worse than raw batches, per family.
+        for kind in ["weakly", "highly", "mixed", "cirne"] {
+            let get = |v: &str| {
+                rows.iter()
+                    .find(|r| r.workload == kind && r.variant == v)
+                    .expect("row present")
+                    .wici_ratio
+            };
+            assert!(
+                get("paper-default") <= get("raw-batches") + 1e-9,
+                "{kind}: pipeline worse than raw"
+            );
+        }
+    }
+
+    #[test]
+    fn csv_renders_all_rows() {
+        let rows = vec![AblationRow {
+            workload: "mixed",
+            variant: "paper-default",
+            wici_ratio: 2.0,
+            cmax_ratio: 1.5,
+        }];
+        let csv = ablation_csv(&rows);
+        assert!(csv.contains("mixed,paper-default,2.000000,1.500000"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Uniform registry of the six algorithms compared in the paper's
+//! figures (DEMT plus the five baselines of §4.1).
+
+use demt_baselines::{gang, list_saf, list_shelf, list_wlptf, sequential_lptf};
+use demt_core::{demt_schedule, DemtConfig};
+use demt_dual::DualResult;
+use demt_model::Instance;
+use demt_platform::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Algorithms plotted in Figures 3–6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's contribution (legend "DEMT").
+    Demt,
+    /// Gang scheduling (legend "Gang").
+    Gang,
+    /// Sequential LPTF (legend "Sequential").
+    Sequential,
+    /// Graham list, \[7\] shelf order (legend "List Scheduling").
+    ListShelf,
+    /// Graham list, weighted LPTF (legend "LPTF").
+    ListWlptf,
+    /// Graham list, smallest area first (legend "SAF").
+    ListSaf,
+}
+
+impl Algorithm {
+    /// All six algorithms in the paper's legend order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Demt,
+        Algorithm::Gang,
+        Algorithm::Sequential,
+        Algorithm::ListShelf,
+        Algorithm::ListWlptf,
+        Algorithm::ListSaf,
+    ];
+
+    /// Legend label as printed in the paper's figures.
+    pub fn legend(self) -> &'static str {
+        match self {
+            Algorithm::Demt => "DEMT",
+            Algorithm::Gang => "Gang",
+            Algorithm::Sequential => "Sequential",
+            Algorithm::ListShelf => "List Scheduling",
+            Algorithm::ListWlptf => "LPTF",
+            Algorithm::ListSaf => "SAF",
+        }
+    }
+
+    /// Short machine name for CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Demt => "demt",
+            Algorithm::Gang => "gang",
+            Algorithm::Sequential => "sequential",
+            Algorithm::ListShelf => "list",
+            Algorithm::ListWlptf => "lptf",
+            Algorithm::ListSaf => "saf",
+        }
+    }
+
+    /// Runs the algorithm. The three list baselines reuse the shared
+    /// dual-approximation result; DEMT runs its own internally (its
+    /// wall-clock in Fig. 7 includes that step).
+    pub fn run(self, inst: &Instance, dual: &DualResult, demt_cfg: &DemtConfig) -> Schedule {
+        match self {
+            Algorithm::Demt => demt_schedule(inst, demt_cfg).schedule,
+            Algorithm::Gang => gang(inst),
+            Algorithm::Sequential => sequential_lptf(inst),
+            Algorithm::ListShelf => list_shelf(inst, dual),
+            Algorithm::ListWlptf => list_wlptf(inst, dual),
+            Algorithm::ListSaf => list_saf(inst, dual),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.legend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demt_dual::{dual_approx, DualConfig};
+    use demt_platform::validate;
+    use demt_workload::{generate, WorkloadKind};
+
+    #[test]
+    fn registry_runs_everything_validly() {
+        let inst = generate(WorkloadKind::Mixed, 30, 8, 2);
+        let dual = dual_approx(&inst, &DualConfig::default());
+        for alg in Algorithm::ALL {
+            let s = alg.run(&inst, &dual, &DemtConfig::default());
+            validate(&inst, &s).unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+}

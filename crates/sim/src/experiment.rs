@@ -1,0 +1,344 @@
+//! Experiment runner: sweeps task counts, runs every algorithm against
+//! the lower bounds, and aggregates the paper's ratio statistics.
+//!
+//! Runs are independent, so the runner distributes them over worker
+//! threads (crossbeam channel as the work queue); on a single-core host
+//! it degrades to the sequential path.
+
+use crate::algorithms::Algorithm;
+use crate::stats::RatioAccum;
+use demt_bounds::{minsum_lower_bound_with_horizon, squashed_minsum_bound, BoundConfig};
+use demt_core::DemtConfig;
+use demt_dual::dual_approx;
+use demt_platform::{validate, Criteria};
+use demt_workload::{generate, WorkloadKind};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Sweep configuration. [`ExperimentConfig::paper`] reproduces the
+/// SPAA'04 setting (200 processors, 25–400 tasks, 40 runs per point);
+/// [`ExperimentConfig::quick`] is a CI-sized smoke sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Cluster size `m` (200 in the paper).
+    pub procs: usize,
+    /// Task counts `n` to sweep.
+    pub task_counts: Vec<usize>,
+    /// Independent runs per point (40 in the paper).
+    pub runs: usize,
+    /// Base seed; run `r` of point `n` uses a seed derived from both.
+    pub seed_base: u64,
+    /// DEMT configuration.
+    pub demt: DemtConfig,
+    /// Lower-bound configuration.
+    pub bound: BoundConfig,
+    /// Worker threads (1 = sequential).
+    pub workers: usize,
+    /// Re-validate every schedule against the instance (cheap insurance;
+    /// on by default).
+    pub validate_schedules: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's full experimental setting.
+    pub fn paper() -> Self {
+        Self {
+            procs: 200,
+            task_counts: vec![25, 50, 100, 150, 200, 250, 300, 350, 400],
+            runs: 40,
+            seed_base: 20040627, // SPAA'04 opening day
+            demt: DemtConfig::default(),
+            bound: BoundConfig::default(),
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            validate_schedules: true,
+        }
+    }
+
+    /// Small sweep for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self {
+            procs: 32,
+            task_counts: vec![10, 20, 40],
+            runs: 2,
+            ..Self::paper()
+        }
+    }
+}
+
+/// Per-algorithm aggregation at one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlgSeries {
+    /// `Σ wᵢ Cᵢ` ratios against the LP bound.
+    pub minsum: RatioAccum,
+    /// `Cmax` ratios against the dual-approximation bound.
+    pub cmax: RatioAccum,
+    /// Total scheduling wall-clock over the runs, seconds (Fig. 7 for
+    /// DEMT).
+    pub wall_seconds: f64,
+}
+
+impl Default for AlgSeries {
+    fn default() -> Self {
+        Self {
+            minsum: RatioAccum::default(),
+            cmax: RatioAccum::default(),
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+impl AlgSeries {
+    fn merge(&mut self, other: &AlgSeries) {
+        self.minsum.merge(&other.minsum);
+        self.cmax.merge(&other.cmax);
+        self.wall_seconds += other.wall_seconds;
+    }
+}
+
+/// One sweep point (`n` fixed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Per-algorithm series, in [`Algorithm::ALL`] order.
+    pub series: Vec<(Algorithm, AlgSeries)>,
+}
+
+impl PointResult {
+    /// Series lookup.
+    pub fn series_of(&self, alg: Algorithm) -> &AlgSeries {
+        &self
+            .series
+            .iter()
+            .find(|(a, _)| *a == alg)
+            .expect("all algorithms present")
+            .1
+    }
+}
+
+/// One figure: a workload family swept over task counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Workload family (determines the paper figure number).
+    pub kind: WorkloadKind,
+    /// Cluster size used.
+    pub procs: usize,
+    /// Runs per point.
+    pub runs: usize,
+    /// One entry per task count.
+    pub points: Vec<PointResult>,
+}
+
+fn run_seed(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize, run: usize) -> u64 {
+    // Stable mixing so every (figure, point, run) triple is independent
+    // of sweep order and of the other points.
+    let mut h = cfg.seed_base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n as u64 + 1);
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ (kind.figure() as u64) << 17;
+    h ^ (run as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// Executes one `(kind, n, run)` cell and folds it into `accum`.
+fn one_run(
+    cfg: &ExperimentConfig,
+    kind: WorkloadKind,
+    n: usize,
+    run: usize,
+    accum: &mut [AlgSeries],
+) {
+    let seed = run_seed(cfg, kind, n, run);
+    let inst = generate(kind, n, cfg.procs, seed);
+    let dual = dual_approx(&inst, &cfg.bound.dual);
+    let minsum_bound = minsum_lower_bound_with_horizon(&inst, dual.cmax_estimate, &cfg.bound)
+        .value
+        .max(squashed_minsum_bound(&inst));
+    let cmax_bound = dual.lower_bound;
+
+    for (ai, alg) in Algorithm::ALL.iter().enumerate() {
+        let t0 = Instant::now();
+        let schedule = alg.run(&inst, &dual, &cfg.demt);
+        let wall = t0.elapsed().as_secs_f64();
+        if cfg.validate_schedules {
+            validate(&inst, &schedule)
+                .unwrap_or_else(|e| panic!("{alg} produced an invalid schedule: {e}"));
+        }
+        let crit = Criteria::evaluate(&inst, &schedule);
+        accum[ai]
+            .minsum
+            .push(crit.weighted_completion, minsum_bound);
+        accum[ai].cmax.push(crit.makespan, cmax_bound);
+        accum[ai].wall_seconds += wall;
+    }
+}
+
+/// Runs one sweep point, parallelizing over runs.
+pub fn run_point(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize) -> PointResult {
+    let workers = cfg.workers.max(1).min(cfg.runs.max(1));
+    let mut merged: Vec<AlgSeries> = vec![AlgSeries::default(); Algorithm::ALL.len()];
+    if workers <= 1 {
+        for run in 0..cfg.runs {
+            one_run(cfg, kind, n, run, &mut merged);
+        }
+    } else {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for run in 0..cfg.runs {
+            tx.send(run).expect("channel open");
+        }
+        drop(tx);
+        let partials: Vec<Vec<AlgSeries>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move || {
+                        let mut local = vec![AlgSeries::default(); Algorithm::ALL.len()];
+                        while let Ok(run) = rx.recv() {
+                            one_run(cfg, kind, n, run, &mut local);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for p in partials {
+            for (m, s) in merged.iter_mut().zip(&p) {
+                m.merge(s);
+            }
+        }
+    }
+    PointResult {
+        tasks: n,
+        series: Algorithm::ALL.iter().copied().zip(merged).collect(),
+    }
+}
+
+/// Runs a full figure sweep, reporting progress through `progress`.
+pub fn run_figure(
+    cfg: &ExperimentConfig,
+    kind: WorkloadKind,
+    mut progress: impl FnMut(&str),
+) -> FigureResult {
+    let mut points = Vec::with_capacity(cfg.task_counts.len());
+    for &n in &cfg.task_counts {
+        let t0 = Instant::now();
+        let point = run_point(cfg, kind, n);
+        progress(&format!(
+            "fig{} [{}] n={n}: {} runs in {:.1}s",
+            kind.figure(),
+            kind.name(),
+            cfg.runs,
+            t0.elapsed().as_secs_f64()
+        ));
+        points.push(point);
+    }
+    FigureResult {
+        kind,
+        procs: cfg.procs,
+        runs: cfg.runs,
+        points,
+    }
+}
+
+/// DEMT-only timing sweep for Figure 7 (no bounds, no baselines — just
+/// the scheduling wall-clock).
+pub fn run_timing(
+    cfg: &ExperimentConfig,
+    kind: WorkloadKind,
+    mut progress: impl FnMut(&str),
+) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &n in &cfg.task_counts {
+        let mut total = 0.0;
+        for run in 0..cfg.runs {
+            let seed = run_seed(cfg, kind, n, run);
+            let inst = generate(kind, n, cfg.procs, seed);
+            let t0 = Instant::now();
+            let r = demt_core::demt_schedule(&inst, &cfg.demt);
+            total += t0.elapsed().as_secs_f64();
+            std::hint::black_box(&r.schedule);
+        }
+        let avg = total / cfg.runs.max(1) as f64;
+        progress(&format!(
+            "fig7 [{}] n={n}: {:.4}s per schedule",
+            kind.name(),
+            avg
+        ));
+        out.push((n, avg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_sane_ratios() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.workers = 1;
+        let fig = run_figure(&cfg, WorkloadKind::HighlyParallel, |_| {});
+        assert_eq!(fig.points.len(), cfg.task_counts.len());
+        for p in &fig.points {
+            for (alg, s) in &p.series {
+                assert_eq!(s.minsum.runs, cfg.runs);
+                // Every ratio must be ≥ 1 − ε (the bounds are certified
+                // lower bounds).
+                assert!(
+                    s.minsum.min_ratio >= 1.0 - 1e-6,
+                    "{alg}: minsum ratio {} below 1",
+                    s.minsum.min_ratio
+                );
+                assert!(
+                    s.cmax.min_ratio >= 1.0 - 1e-6,
+                    "{alg}: cmax ratio {} below 1",
+                    s.cmax.min_ratio
+                );
+                assert!(s.minsum.average() < 50.0, "{alg}: ratio blew up");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![12];
+        cfg.runs = 3;
+        cfg.workers = 1;
+        let seq = run_point(&cfg, WorkloadKind::Mixed, 12);
+        cfg.workers = 3;
+        let par = run_point(&cfg, WorkloadKind::Mixed, 12);
+        for (a, b) in seq.series.iter().zip(&par.series) {
+            assert_eq!(a.0, b.0);
+            // Workers fold runs in a different order, so sums may differ
+            // by float non-associativity — but only by ULPs.
+            let rel = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(1.0);
+            assert!(rel(a.1.minsum.sum_value, b.1.minsum.sum_value));
+            assert!(rel(a.1.cmax.sum_bound, b.1.cmax.sum_bound));
+            assert_eq!(a.1.minsum.runs, b.1.minsum.runs);
+        }
+    }
+
+    #[test]
+    fn timing_sweep_reports_positive_times() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![10];
+        cfg.runs = 1;
+        let t = run_timing(&cfg, WorkloadKind::Cirne, |_| {});
+        assert_eq!(t.len(), 1);
+        assert!(t[0].1 > 0.0);
+    }
+
+    #[test]
+    fn seeds_differ_across_cells() {
+        let cfg = ExperimentConfig::quick();
+        let a = run_seed(&cfg, WorkloadKind::Mixed, 10, 0);
+        let b = run_seed(&cfg, WorkloadKind::Mixed, 10, 1);
+        let c = run_seed(&cfg, WorkloadKind::Mixed, 20, 0);
+        let d = run_seed(&cfg, WorkloadKind::Cirne, 10, 0);
+        assert!(a != b && a != c && a != d && b != c);
+    }
+}

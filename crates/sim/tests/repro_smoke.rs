@@ -1,0 +1,60 @@
+//! End-to-end smoke test of the `repro` binary: a tiny sweep must run,
+//! print the ratio tables and write well-formed CSV series.
+
+use std::process::Command;
+
+#[test]
+fn quick_fig4_sweep_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("demt-repro-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig4", "--quick", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("run repro");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 4"), "{stdout}");
+    assert!(stdout.contains("demt"), "{stdout}");
+
+    let csv = std::fs::read_to_string(dir.join("fig4_highly.csv")).expect("csv written");
+    let mut lines = csv.lines();
+    let header = lines.next().expect("header");
+    assert!(header.starts_with("n,demt_wici_avg"));
+    let cols = header.split(',').count();
+    for line in lines {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+        // Every ratio field parses as a finite positive number.
+        for field in line.split(',').skip(1) {
+            let v: f64 = field.parse().expect("numeric field");
+            assert!(v.is_finite() && v > 0.0);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_flag_prints_usage_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--help")
+        .output()
+        .expect("run repro --help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for fig in ["fig3", "fig4", "fig5", "fig6", "fig7", "ablation"] {
+        assert!(text.contains(fig), "usage missing {fig}");
+    }
+}
+
+#[test]
+fn unknown_argument_fails_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--bogus")
+        .output()
+        .expect("run repro --bogus");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}

@@ -1,0 +1,92 @@
+//! All three §5 job types in one instance: **moldable** jobs (Cirne
+//! model), **rigid** jobs (user-fixed sizes), and **divisible-load**
+//! jobs (pure splittable work), co-scheduled by DEMT through the
+//! moldable bridge — exactly "the mix of different types of jobs" the
+//! paper leaves as future work.
+//!
+//! Also shows the divisible jobs' two analytic optima (McNaughton
+//! preemptive makespan, Smith-gang minsum) as calibration anchors for
+//! how little DEMT loses on them.
+//!
+//! ```text
+//! cargo run --release --example job_type_mix
+//! ```
+
+use demt::divisible::{mcnaughton_optimum, smith_gang, to_moldable, WorkJob};
+use demt::model::MoldableTask;
+use demt::prelude::*;
+
+fn main() {
+    let m = 24;
+
+    // 10 moldable jobs from the Cirne model.
+    let moldable = generate(WorkloadKind::Cirne, 10, m, 31);
+
+    let mut b = InstanceBuilder::new(m);
+    for t in moldable.tasks() {
+        b.push_task(t.clone()).unwrap();
+    }
+    // 4 rigid jobs.
+    for &(procs, time, w) in &[
+        (4usize, 2.0, 3.0),
+        (8, 1.5, 1.0),
+        (2, 4.0, 2.0),
+        (6, 2.5, 1.5),
+    ] {
+        let id = b.next_id();
+        b.push_task(MoldableTask::rigid(id, w, procs, time, m).unwrap())
+            .unwrap();
+    }
+    // 4 divisible-load jobs, bridged as linear tasks.
+    let divisible: Vec<WorkJob> = [(18.0, 2.0), (36.0, 1.0), (9.0, 4.0), (24.0, 1.2)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(work, weight))| WorkJob {
+            id: TaskId(14 + i),
+            work,
+            weight,
+        })
+        .collect();
+    for j in &divisible {
+        b.push_task(to_moldable(j, m)).unwrap();
+    }
+    let inst = b.build().unwrap();
+    println!(
+        "{} jobs on {m} nodes: 10 moldable + 4 rigid + 4 divisible\n",
+        inst.len()
+    );
+
+    let r = demt_schedule(&inst, &DemtConfig::default());
+    assert_valid(&inst, &r.schedule);
+    let bounds = instance_bounds(&inst, &BoundConfig::default());
+    println!(
+        "DEMT on the mix: Cmax {:.2} (ratio {:.2}), ΣwᵢCᵢ {:.1} (ratio {:.2})",
+        r.criteria.makespan,
+        r.criteria.makespan / bounds.cmax,
+        r.criteria.weighted_completion,
+        r.criteria.weighted_completion / bounds.minsum
+    );
+
+    // Divisible-only anchors.
+    let pre_cmax = mcnaughton_optimum(&divisible, m);
+    let smith = smith_gang(&divisible, m);
+    println!(
+        "\ndivisible jobs alone: preemptive Cmax* = {:.3}, Smith-gang ΣwᵢCᵢ* = {:.3}",
+        pre_cmax,
+        smith.weighted_completion(&divisible)
+    );
+    let div_completions: Vec<f64> = divisible
+        .iter()
+        .map(|j| r.schedule.placement_of(j.id).unwrap().completion())
+        .collect();
+    println!(
+        "inside the DEMT mix they finish at {:?}",
+        div_completions
+            .iter()
+            .map(|c| (c * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    println!("\nGantt (rigid jobs are E-H, divisible are I-L):");
+    print!("{}", render_gantt(&r.schedule, 76));
+}

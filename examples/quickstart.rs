@@ -1,0 +1,69 @@
+//! Quickstart: generate a workload, schedule it with DEMT, compare both
+//! criteria against the baselines and the certified lower bounds, and
+//! print a Gantt chart.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use demt::prelude::*;
+
+fn main() {
+    // A small cluster and a realistic moldable workload (the paper's
+    // Cirne–Berman model): 24 jobs on 16 processors.
+    let m = 16;
+    let inst = generate(WorkloadKind::Cirne, 24, m, 7);
+    println!(
+        "instance: {} moldable jobs on {} processors (total minimal work {:.1})",
+        inst.len(),
+        inst.procs(),
+        inst.stats().total_min_work
+    );
+
+    // Certified lower bounds for both criteria (§3.3 of the paper).
+    let bounds = instance_bounds(&inst, &BoundConfig::default());
+    println!(
+        "lower bounds: Cmax ≥ {:.2},  Σ wᵢCᵢ ≥ {:.1}\n",
+        bounds.cmax, bounds.minsum
+    );
+
+    // DEMT (the paper's algorithm) and the five §4.1 baselines.
+    let demt = demt_schedule(&inst, &DemtConfig::default());
+    assert_valid(&inst, &demt.schedule);
+
+    let dual = dual_approx(&inst, &DualConfig::default());
+    println!(
+        "{:<16} {:>10} {:>8} {:>12} {:>8}",
+        "algorithm", "Cmax", "ratio", "Σ wᵢCᵢ", "ratio"
+    );
+    let report = |name: &str, schedule: &Schedule| {
+        assert_valid(&inst, schedule);
+        let c = Criteria::evaluate(&inst, schedule);
+        println!(
+            "{:<16} {:>10.2} {:>8.2} {:>12.1} {:>8.2}",
+            name,
+            c.makespan,
+            c.makespan / bounds.cmax,
+            c.weighted_completion,
+            c.weighted_completion / bounds.minsum
+        );
+    };
+    report("DEMT", &demt.schedule);
+    report("Gang", &gang(&inst));
+    report("Sequential", &sequential_lptf(&inst));
+    report("List [7]", &list_shelf(&inst, &dual));
+    report("LPTF", &list_wlptf(&inst, &dual));
+    report("SAF", &list_saf(&inst, &dual));
+
+    println!(
+        "\nDEMT schedule (each column ≈ {:.2} time units):",
+        demt.criteria.makespan / 72.0
+    );
+    print!("{}", render_gantt(&demt.schedule, 72));
+    println!(
+        "\nutilization {:.0}%  idle area {:.1}  batches used: {}",
+        Criteria::evaluate(&inst, &demt.schedule).utilization * 100.0,
+        demt.criteria.idle_area,
+        demt.plan.batches.len()
+    );
+}

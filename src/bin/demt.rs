@@ -1,0 +1,328 @@
+//! `demt` — command-line front end for the library, the tool a cluster
+//! operator would script against (the paper's Fig. 1 front-end role).
+//!
+//! ```text
+//! demt generate --kind cirne --tasks 50 --procs 64 --seed 7 > inst.json
+//! demt schedule --algorithm demt   < inst.json > sched.json
+//! demt validate --instance inst.json < sched.json
+//! demt bound    < inst.json
+//! demt gantt    --instance inst.json --width 80 < sched.json
+//! ```
+//!
+//! Instances and schedules are exchanged as JSON (serde; exact float
+//! round-trip enabled workspace-wide).
+
+use demt::prelude::*;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { die(USAGE) };
+    let opts = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "generate" => generate_cmd(&opts),
+        "schedule" => schedule_cmd(&opts),
+        "validate" => validate_cmd(&opts),
+        "bound" => bound_cmd(&opts),
+        "gantt" => gantt_cmd(&opts),
+        "exact" => exact_cmd(&opts),
+        "frontend" => frontend_cmd(&opts),
+        "swf" => swf_cmd(&opts),
+        "--help" | "-h" | "help" => print!("{USAGE}"),
+        other => die(&format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+struct Opts(Vec<(String, String)>);
+
+impl Opts {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+    fn usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --{key}"))))
+            .unwrap_or(default)
+    }
+    fn u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --{key}"))))
+            .unwrap_or(default)
+    }
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            die(&format!("expected --flag, got {a}"))
+        };
+        let val = it
+            .next()
+            .unwrap_or_else(|| die(&format!("--{key} needs a value")));
+        out.push((key.to_string(), val.clone()));
+    }
+    Opts(out)
+}
+
+fn read_stdin_json<T: serde::de::DeserializeOwned>(what: &str) -> T {
+    let mut s = String::new();
+    std::io::stdin()
+        .read_to_string(&mut s)
+        .unwrap_or_else(|e| die(&format!("stdin: {e}")));
+    serde_json::from_str(&s).unwrap_or_else(|e| die(&format!("parsing {what} from stdin: {e}")))
+}
+
+fn read_file_json<T: serde::de::DeserializeOwned>(path: &str, what: &str) -> T {
+    let s = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    serde_json::from_str(&s).unwrap_or_else(|e| die(&format!("parsing {what} from {path}: {e}")))
+}
+
+fn generate_cmd(opts: &Opts) {
+    let kind = opts
+        .get("kind")
+        .map(|k| {
+            WorkloadKind::from_name(k)
+                .unwrap_or_else(|| die("bad --kind (weakly|highly|mixed|cirne)"))
+        })
+        .unwrap_or(WorkloadKind::Cirne);
+    let inst = generate(
+        kind,
+        opts.usize("tasks", 50),
+        opts.usize("procs", 64),
+        opts.u64("seed", 0),
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&inst).expect("serializable")
+    );
+}
+
+fn schedule_cmd(opts: &Opts) {
+    let inst: Instance = read_stdin_json("instance");
+    let alg = opts.get("algorithm").unwrap_or("demt");
+    let schedule = match alg {
+        "demt" => demt_schedule(&inst, &DemtConfig::default()).schedule,
+        "gang" => gang(&inst),
+        "sequential" => sequential_lptf(&inst),
+        "list" | "lptf" | "saf" => {
+            let dual = dual_approx(&inst, &DualConfig::default());
+            match alg {
+                "list" => list_shelf(&inst, &dual),
+                "lptf" => list_wlptf(&inst, &dual),
+                _ => list_saf(&inst, &dual),
+            }
+        }
+        other => die(&format!(
+            "unknown --algorithm {other} (demt|gang|sequential|list|lptf|saf)"
+        )),
+    };
+    validate(&inst, &schedule).unwrap_or_else(|e| die(&format!("internal: invalid schedule: {e}")));
+    let c = Criteria::evaluate(&inst, &schedule);
+    eprintln!(
+        "{alg}: Cmax = {:.4}, ΣwᵢCᵢ = {:.4}, utilization = {:.1}%",
+        c.makespan,
+        c.weighted_completion,
+        c.utilization * 100.0
+    );
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&schedule).expect("serializable")
+    );
+}
+
+fn validate_cmd(opts: &Opts) {
+    let path = opts
+        .get("instance")
+        .unwrap_or_else(|| die("validate needs --instance FILE"));
+    let inst: Instance = read_file_json(path, "instance");
+    let schedule: Schedule = read_stdin_json("schedule");
+    match validate(&inst, &schedule) {
+        Ok(()) => {
+            let c = Criteria::evaluate(&inst, &schedule);
+            println!(
+                "VALID: {} placements, Cmax = {:.4}, ΣwᵢCᵢ = {:.4}",
+                schedule.len(),
+                c.makespan,
+                c.weighted_completion
+            );
+        }
+        Err(e) => {
+            println!("INVALID: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bound_cmd(_opts: &Opts) {
+    let inst: Instance = read_stdin_json("instance");
+    let b = instance_bounds(&inst, &BoundConfig::default());
+    println!(
+        "{}",
+        serde_json::json!({
+            "cmax_lower_bound": b.cmax,
+            "minsum_lower_bound": b.minsum,
+            "tasks": inst.len(),
+            "procs": inst.procs(),
+        })
+    );
+}
+
+fn gantt_cmd(opts: &Opts) {
+    let path = opts
+        .get("instance")
+        .unwrap_or_else(|| die("gantt needs --instance FILE"));
+    let inst: Instance = read_file_json(path, "instance");
+    let schedule: Schedule = read_stdin_json("schedule");
+    validate(&inst, &schedule).unwrap_or_else(|e| die(&format!("invalid schedule: {e}")));
+    print!("{}", render_gantt(&schedule, opts.usize("width", 80)));
+}
+
+fn exact_cmd(_opts: &Opts) {
+    let inst: Instance = read_stdin_json("instance");
+    if inst.len() > demt::exact::MAX_TASKS {
+        die(&format!(
+            "exact search is capped at {} tasks (instance has {})",
+            demt::exact::MAX_TASKS,
+            inst.len()
+        ));
+    }
+    let cm = demt::exact::exact_cmax(&inst);
+    let ms = demt::exact::exact_minsum(&inst);
+    println!(
+        "{}",
+        serde_json::json!({
+            "optimal_cmax": cm.value,
+            "optimal_minsum": ms.value,
+            "nodes_explored": cm.nodes + ms.nodes,
+        })
+    );
+}
+
+fn frontend_cmd(opts: &Opts) {
+    use demt::frontend::*;
+    let spec = StreamSpec {
+        kind: opts
+            .get("kind")
+            .map(|k| WorkloadKind::from_name(k).unwrap_or_else(|| die("bad --kind")))
+            .unwrap_or(WorkloadKind::Cirne),
+        jobs: opts.usize("jobs", 60),
+        procs: opts.usize("procs", 32),
+        mean_interarrival: opts
+            .get("gap")
+            .map(|v| v.parse().unwrap_or_else(|_| die("bad --gap")))
+            .unwrap_or(0.5),
+        seed: opts.u64("seed", 0),
+    };
+    let jobs = submit_stream(&spec);
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>8}",
+        "policy", "wait", "response", "slowdown", "util"
+    );
+    let fcfs = queue_schedule(spec.procs, &jobs, QueuePolicy::Fcfs);
+    let easy = queue_schedule(spec.procs, &jobs, QueuePolicy::EasyBackfill);
+    let demt_s = moldable_schedule(spec.procs, &jobs, |i| {
+        demt_schedule(i, &DemtConfig::default()).schedule
+    });
+    for (name, s) in [
+        ("FCFS (rigid)", &fcfs),
+        ("EASY backfill (rigid)", &easy),
+        ("DEMT (moldable)", &demt_s),
+    ] {
+        let m = stream_metrics(&jobs, s, spec.procs);
+        println!(
+            "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
+            name,
+            m.mean_wait,
+            m.mean_response,
+            m.mean_bounded_slowdown,
+            m.utilization * 100.0
+        );
+    }
+}
+
+fn swf_cmd(opts: &Opts) {
+    use demt::frontend::*;
+    let path = opts
+        .get("file")
+        .unwrap_or_else(|| die("swf needs --file TRACE.swf"));
+    let m = opts.usize("procs", 64);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let records = parse_swf(&text).unwrap_or_else(|e| die(&e.to_string()));
+    let jobs = stream_from_swf(&records, m, opts.u64("seed", 0));
+    eprintln!(
+        "{}: {} records, {} usable jobs on m={m}",
+        path,
+        records.len(),
+        jobs.len()
+    );
+    if jobs.is_empty() {
+        die("no usable jobs in the trace");
+    }
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>8}",
+        "policy", "wait", "response", "slowdown", "util"
+    );
+    for (name, policy) in [
+        ("FCFS (trace sizes)", QueuePolicy::Fcfs),
+        ("EASY (trace sizes)", QueuePolicy::EasyBackfill),
+    ] {
+        let s = queue_schedule(m, &jobs, policy);
+        let met = stream_metrics(&jobs, &s, m);
+        println!(
+            "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
+            name,
+            met.mean_wait,
+            met.mean_response,
+            met.mean_bounded_slowdown,
+            met.utilization * 100.0
+        );
+    }
+    let demt_s = moldable_schedule(m, &jobs, |i| {
+        demt_schedule(i, &DemtConfig::default()).schedule
+    });
+    let met = stream_metrics(&jobs, &demt_s, m);
+    println!(
+        "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
+        "DEMT (re-moldable)",
+        met.mean_wait,
+        met.mean_response,
+        met.mean_bounded_slowdown,
+        met.utilization * 100.0
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("demt: {msg}");
+    std::process::exit(2)
+}
+
+const USAGE: &str = "\
+demt — bi-criteria moldable-job scheduling (SPAA'04 reproduction)
+
+USAGE: demt <COMMAND> [--flag value]...
+
+COMMANDS
+  generate  --kind weakly|highly|mixed|cirne --tasks N --procs M --seed S
+            emit a JSON instance on stdout
+  schedule  --algorithm demt|gang|sequential|list|lptf|saf
+            read an instance from stdin, emit a JSON schedule on stdout
+            (criteria are printed to stderr)
+  validate  --instance FILE
+            read a schedule from stdin, audit it against the instance
+  bound     read an instance from stdin, print both lower bounds as JSON
+  gantt     --instance FILE [--width W]
+            read a schedule from stdin, print an ASCII Gantt chart
+  exact     read a tiny instance (≤ 7 tasks) from stdin, print the true
+            optima of both criteria (branch-and-bound oracle)
+  frontend  --kind K --jobs N --procs M --gap MEAN --seed S
+            simulate a submission stream under FCFS / EASY / DEMT and
+            print the response metrics
+  swf       --file TRACE.swf --procs M [--seed S]
+            replay a Standard Workload Format trace through the three
+            front-end disciplines
+";

@@ -1,0 +1,84 @@
+//! # demt — bi-criteria moldable-job scheduling for cluster platforms
+//!
+//! A from-scratch Rust reproduction of *Dutot, Eyraud-Dubois, Mounié,
+//! Trystram, "Bi-criteria Algorithm for Scheduling Jobs on Cluster
+//! Platforms", SPAA 2004*: the **DEMT** batch scheduling algorithm that
+//! optimizes the makespan (`Cmax`) and the weighted sum of completion
+//! times (`Σ wᵢ Cᵢ`) simultaneously for moldable parallel tasks, plus
+//! every substrate its evaluation depends on.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `demt-model` | moldable tasks, instances, canonical queries |
+//! | [`distr`] | `demt-distr` | seeded random variates (Box–Muller, log-uniform) |
+//! | [`workload`] | `demt-workload` | the four SPAA'04 workload families |
+//! | [`platform`] | `demt-platform` | schedules, criteria, validation, list engine, Gantt |
+//! | [`kernels`] | `demt-kernels` | knapsack DPs, chain packing, bisection |
+//! | [`lp`] | `demt-lp` | dense two-phase simplex |
+//! | [`dual`] | `demt-dual` | dual-approximation makespan substrate & bound |
+//! | [`bounds`] | `demt-bounds` | minsum LP lower bound |
+//! | [`core`] | `demt-core` | the DEMT algorithm |
+//! | [`baselines`] | `demt-baselines` | Gang, Sequential, three Graham lists |
+//! | [`online`] | `demt-online` | on-line batch framework over release dates |
+//! | [`sim`] | `demt-sim` | experiment harness regenerating Figures 3–7 |
+//! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
+//! | [`frontend`] | `demt-frontend` | cluster front-end simulation: job streams, FCFS/EASY queues, SWF traces, response metrics |
+//! | [`divisible`] | `demt-divisible` | divisible-load & preemptive scheduling: McNaughton, Smith gangs, moldable bridging |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use demt::prelude::*;
+//!
+//! // A 16-processor cluster and 30 moldable jobs from the paper's
+//! // Cirne–Berman workload model.
+//! let inst = generate(WorkloadKind::Cirne, 30, 16, 42);
+//!
+//! // Schedule with the paper's algorithm…
+//! let result = demt_schedule(&inst, &DemtConfig::default());
+//! assert_valid(&inst, &result.schedule);
+//!
+//! // …and check both criteria against certified lower bounds.
+//! let bounds = instance_bounds(&inst, &BoundConfig::default());
+//! assert!(result.criteria.makespan >= bounds.cmax);
+//! assert!(result.criteria.weighted_completion >= bounds.minsum);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use demt_baselines as baselines;
+pub use demt_bounds as bounds;
+pub use demt_core as core;
+pub use demt_distr as distr;
+pub use demt_divisible as divisible;
+pub use demt_dual as dual;
+pub use demt_exact as exact;
+pub use demt_frontend as frontend;
+pub use demt_kernels as kernels;
+pub use demt_lp as lp;
+pub use demt_model as model;
+pub use demt_online as online;
+pub use demt_platform as platform;
+pub use demt_sim as sim;
+pub use demt_workload as workload;
+
+/// One-stop imports for the common workflow: generate → schedule →
+/// validate → bound.
+pub mod prelude {
+    pub use demt_baselines::{
+        gang, list_saf, list_shelf, list_wlptf, run_baseline, sequential_lptf, BaselineKind,
+    };
+    pub use demt_bounds::{instance_bounds, minsum_lower_bound, BoundConfig, InstanceBounds};
+    pub use demt_core::{demt_schedule, Compaction, DemtConfig, DemtResult, LocalOrder};
+    pub use demt_dual::{cmax_lower_bound, dual_approx, DualConfig, DualResult};
+    pub use demt_model::{Instance, InstanceBuilder, MoldableTask, TaskId};
+    pub use demt_online::{online_batch_schedule, OnlineJob, OnlineResult};
+    pub use demt_platform::{
+        assert_valid, backfill_schedule, list_schedule, render_gantt, validate,
+        validate_with_releases, Criteria, ListPolicy, ListTask, Placement, Reservation, Schedule,
+    };
+    pub use demt_workload::{generate, WorkloadKind, WorkloadSpec};
+}

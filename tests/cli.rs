@@ -1,0 +1,156 @@
+//! End-to-end tests of the `demt` CLI binary: the generate → schedule →
+//! validate → bound → gantt pipeline through real process invocations.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn demt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_demt"))
+}
+
+fn run_with_stdin(mut cmd: Command, stdin: &[u8]) -> (String, String, bool) {
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn demt");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin)
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn generate_schedule_validate_pipeline() {
+    let out = demt()
+        .args([
+            "generate", "--kind", "mixed", "--tasks", "10", "--procs", "6", "--seed", "3",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let inst_json = out.stdout;
+    assert!(String::from_utf8_lossy(&inst_json).contains("\"tasks\""));
+
+    let mut sched = demt();
+    sched.args(["schedule", "--algorithm", "demt"]);
+    let (sched_json, stderr, ok) = run_with_stdin(sched, &inst_json);
+    assert!(ok, "schedule failed: {stderr}");
+    assert!(
+        stderr.contains("Cmax"),
+        "criteria printed to stderr: {stderr}"
+    );
+
+    // Validate needs the instance as a file.
+    let dir = std::env::temp_dir().join(format!("demt-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("inst.json");
+    std::fs::write(&inst_path, &inst_json).unwrap();
+
+    let mut validate = demt();
+    validate.args(["validate", "--instance", inst_path.to_str().unwrap()]);
+    let (vout, _, ok) = run_with_stdin(validate, sched_json.as_bytes());
+    assert!(ok);
+    assert!(vout.contains("VALID"), "{vout}");
+
+    let mut gantt = demt();
+    gantt.args([
+        "gantt",
+        "--instance",
+        inst_path.to_str().unwrap(),
+        "--width",
+        "40",
+    ]);
+    let (gout, _, ok) = run_with_stdin(gantt, sched_json.as_bytes());
+    assert!(ok);
+    assert_eq!(
+        gout.lines().count(),
+        7,
+        "header + 6 processor rows:\n{gout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bound_and_exact_agree_on_ordering() {
+    let out = demt()
+        .args([
+            "generate", "--kind", "cirne", "--tasks", "5", "--procs", "3", "--seed", "7",
+        ])
+        .output()
+        .expect("generate");
+    let inst_json = out.stdout;
+
+    let mut bound_cmd = demt();
+    bound_cmd.arg("bound");
+    let (bound_out, _, ok) = run_with_stdin(bound_cmd, &inst_json);
+    assert!(ok);
+    let bounds: serde_json::Value = serde_json::from_str(&bound_out).unwrap();
+
+    let mut exact_cmd = demt();
+    exact_cmd.arg("exact");
+    let (exact_out, _, ok) = run_with_stdin(exact_cmd, &inst_json);
+    assert!(ok);
+    let exact: serde_json::Value = serde_json::from_str(&exact_out).unwrap();
+
+    let lb_cmax = bounds["cmax_lower_bound"].as_f64().unwrap();
+    let opt_cmax = exact["optimal_cmax"].as_f64().unwrap();
+    assert!(
+        lb_cmax <= opt_cmax * (1.0 + 1e-7),
+        "bound {lb_cmax} vs optimum {opt_cmax}"
+    );
+    let lb_minsum = bounds["minsum_lower_bound"].as_f64().unwrap();
+    let opt_minsum = exact["optimal_minsum"].as_f64().unwrap();
+    assert!(lb_minsum <= opt_minsum * (1.0 + 1e-7));
+}
+
+#[test]
+fn corrupted_schedule_is_rejected_with_nonzero_exit() {
+    let out = demt()
+        .args([
+            "generate", "--kind", "highly", "--tasks", "6", "--procs", "4", "--seed", "1",
+        ])
+        .output()
+        .expect("generate");
+    let inst_json = out.stdout;
+    let mut sched = demt();
+    sched.args(["schedule", "--algorithm", "gang"]);
+    let (sched_json, _, _) = run_with_stdin(sched, &inst_json);
+
+    // Corrupt: drop one placement.
+    let mut v: serde_json::Value = serde_json::from_str(&sched_json).unwrap();
+    let placements = v["placements"].as_array_mut().unwrap();
+    placements.pop();
+
+    let dir = std::env::temp_dir().join(format!("demt-cli-neg-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("inst.json");
+    std::fs::write(&inst_path, &inst_json).unwrap();
+
+    let mut validate = demt();
+    validate.args(["validate", "--instance", inst_path.to_str().unwrap()]);
+    let (vout, _, ok) = run_with_stdin(validate, v.to_string().as_bytes());
+    assert!(!ok, "corrupted schedule must fail validation");
+    assert!(vout.contains("INVALID"), "{vout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = demt().arg("--help").output().expect("help");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "generate", "schedule", "validate", "bound", "gantt", "exact", "frontend", "swf",
+    ] {
+        assert!(text.contains(cmd), "help is missing {cmd}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Serde interchange across crates: instances and schedules survive a
+//! JSON round trip and remain mutually consistent (a schedule validated
+//! before serialization validates after, against the round-tripped
+//! instance).
+
+use demt::prelude::*;
+
+#[test]
+fn instance_and_schedule_round_trip_together() {
+    let inst = generate(WorkloadKind::Cirne, 25, 12, 6);
+    let r = demt_schedule(&inst, &DemtConfig::default());
+    validate(&inst, &r.schedule).unwrap();
+
+    let inst_json = serde_json::to_string(&inst).unwrap();
+    let sched_json = serde_json::to_string(&r.schedule).unwrap();
+    let inst2: Instance = serde_json::from_str(&inst_json).unwrap();
+    let sched2: Schedule = serde_json::from_str(&sched_json).unwrap();
+
+    assert_eq!(inst, inst2);
+    assert_eq!(r.schedule, sched2);
+    validate(&inst2, &sched2).unwrap();
+    let c1 = Criteria::evaluate(&inst, &r.schedule);
+    let c2 = Criteria::evaluate(&inst2, &sched2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn workload_spec_round_trips_and_regenerates() {
+    let spec = WorkloadSpec::new(WorkloadKind::Mixed, 15, 8, 123);
+    let json = serde_json::to_string(&spec).unwrap();
+    let spec2: WorkloadSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, spec2);
+    assert_eq!(spec.generate(), spec2.generate());
+}
+
+#[test]
+fn criteria_serialize_for_result_dumps() {
+    let inst = generate(WorkloadKind::HighlyParallel, 10, 4, 1);
+    let r = demt_schedule(&inst, &DemtConfig::default());
+    let json = serde_json::to_string(&r.criteria).unwrap();
+    let back: Criteria = serde_json::from_str(&json).unwrap();
+    assert_eq!(r.criteria, back);
+}
