@@ -56,9 +56,9 @@ pub fn ablation_variants() -> Vec<(&'static str, DemtConfig)> {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AblationRow {
     /// Workload family.
-    pub workload: &'static str,
+    pub workload: String,
     /// Variant name (see [`ablation_variants`]).
-    pub variant: &'static str,
+    pub variant: String,
     /// Average `Σ wᵢCᵢ` ratio (ratio of sums over the runs).
     pub wici_ratio: f64,
     /// Average `Cmax` ratio.
@@ -90,8 +90,8 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> Vec<AblationRow> {
                 sum_cmax_lb += bounds.cmax;
             }
             rows.push(AblationRow {
-                workload: kind.name(),
-                variant: name,
+                workload: kind.name().to_string(),
+                variant: name.to_string(),
                 wici_ratio: sum_wici / sum_wici_lb,
                 cmax_ratio: sum_cmax / sum_cmax_lb,
             });
@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn csv_renders_all_rows() {
         let rows = vec![AblationRow {
-            workload: "mixed",
-            variant: "paper-default",
+            workload: "mixed".to_string(),
+            variant: "paper-default".to_string(),
             wici_ratio: 2.0,
             cmax_ratio: 1.5,
         }];

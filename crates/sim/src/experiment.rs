@@ -1,9 +1,9 @@
 //! Experiment runner: sweeps task counts, runs every algorithm against
 //! the lower bounds, and aggregates the paper's ratio statistics.
 //!
-//! Runs are independent, so the runner distributes them over worker
-//! threads (crossbeam channel as the work queue); on a single-core host
-//! it degrades to the sequential path.
+//! Runs are independent, so the runner distributes them over scoped
+//! worker threads (an atomic counter as the work queue); on a
+//! single-core host it degrades to the sequential path.
 
 use crate::algorithms::Algorithm;
 use crate::stats::RatioAccum;
@@ -181,18 +181,18 @@ pub fn run_point(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize) -> PointR
             one_run(cfg, kind, n, run, &mut merged);
         }
     } else {
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for run in 0..cfg.runs {
-            tx.send(run).expect("channel open");
-        }
-        drop(tx);
+        let next_run = std::sync::atomic::AtomicUsize::new(0);
         let partials: Vec<Vec<AlgSeries>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let rx = rx.clone();
+                    let next_run = &next_run;
                     scope.spawn(move || {
                         let mut local = vec![AlgSeries::default(); Algorithm::ALL.len()];
-                        while let Ok(run) = rx.recv() {
+                        loop {
+                            let run = next_run.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if run >= cfg.runs {
+                                break;
+                            }
                             one_run(cfg, kind, n, run, &mut local);
                         }
                         local

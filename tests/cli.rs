@@ -154,3 +154,76 @@ fn help_lists_all_commands() {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
 }
+
+#[test]
+fn every_algorithm_round_trips_and_respects_bounds() {
+    // generate → schedule (each algorithm) → validate → bound, all via
+    // JSON stdin/stdout, asserting every schedule beats neither bound.
+    let out = demt()
+        .args([
+            "generate", "--kind", "cirne", "--tasks", "12", "--procs", "8", "--seed", "11",
+        ])
+        .output()
+        .expect("generate");
+    assert!(out.status.success());
+    let inst_json = out.stdout;
+
+    let mut bound_cmd = demt();
+    bound_cmd.arg("bound");
+    let (bound_out, _, ok) = run_with_stdin(bound_cmd, &inst_json);
+    assert!(ok);
+    let bounds: serde_json::Value = serde_json::from_str(&bound_out).unwrap();
+    let lb_cmax = bounds["cmax_lower_bound"].as_f64().unwrap();
+    let lb_minsum = bounds["minsum_lower_bound"].as_f64().unwrap();
+    assert!(
+        lb_cmax > 0.0 && lb_minsum > 0.0,
+        "degenerate bounds: {bound_out}"
+    );
+
+    let dir = std::env::temp_dir().join(format!("demt-cli-algos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let inst_path = dir.join("inst.json");
+    std::fs::write(&inst_path, &inst_json).unwrap();
+
+    for alg in ["demt", "gang", "sequential", "list", "lptf", "saf"] {
+        let mut sched = demt();
+        sched.args(["schedule", "--algorithm", alg]);
+        let (sched_json, stderr, ok) = run_with_stdin(sched, &inst_json);
+        assert!(ok, "{alg} schedule failed: {stderr}");
+
+        let mut validate = demt();
+        validate.args(["validate", "--instance", inst_path.to_str().unwrap()]);
+        let (vout, _, ok) = run_with_stdin(validate, sched_json.as_bytes());
+        assert!(ok, "{alg}: {vout}");
+        assert!(vout.contains("VALID"), "{alg}: {vout}");
+
+        // `validate` prints "Cmax = X, ΣwᵢCᵢ = Y"; both must dominate
+        // the certified lower bounds.
+        let grab = |label: &str| -> f64 {
+            let tail =
+                &vout[vout.find(label).unwrap_or_else(|| panic!("{alg}: {vout}")) + label.len()..];
+            tail.trim_start()
+                .trim_start_matches('=')
+                .trim_start()
+                .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap_or_else(|e| panic!("{alg}: bad {label} in {vout}: {e}"))
+        };
+        let cmax = grab("Cmax");
+        let minsum = grab("ΣwᵢCᵢ");
+        // `validate` prints with 4 decimal places, so allow the print
+        // quantization (5e-5 absolute) on top of float slack.
+        assert!(
+            cmax >= lb_cmax * (1.0 - 1e-7) - 1e-4,
+            "{alg}: Cmax {cmax} below lower bound {lb_cmax}"
+        );
+        assert!(
+            minsum >= lb_minsum * (1.0 - 1e-7) - 1e-4,
+            "{alg}: ΣwᵢCᵢ {minsum} below lower bound {lb_minsum}"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

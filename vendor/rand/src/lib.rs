@@ -1,0 +1,240 @@
+//! Offline stand-in for `rand` exposing the 0.9-flavoured subset this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::random`,
+//! `Rng::random_range`, and `seq::SliceRandom::shuffle`.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — deterministic
+//! across platforms, which is all the experiments require (they never
+//! claim distributional compatibility with upstream `rand`).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Rngs that can be constructed from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences layered over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (for `f64`/`f32`: in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// Panics when the range is empty, like upstream `rand`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types with a canonical "uniform" distribution for [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u: f64 = f64::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange for std::ops::Range<f32> {
+    type Output = f32;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let u: f32 = f32::from_rng(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// Rejection-free Lemire-style bounded draw: uniform in `[0, bound)`.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening multiply keeps the bias below 2^-64, far under anything
+    // these simulations can resolve; a rejection loop tightens it.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, i64, i32, isize);
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = a.random();
+            let y: f64 = b.random();
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert!((0.0..1.0).contains(&x));
+            let n = a.random_range(3usize..17);
+            assert!((3..17).contains(&n));
+            b.random_range(3usize..17);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde`, shaped around a JSON value tree.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors the small serde surface it actually uses:
+//! [`Serialize`]/[`Deserialize`] traits (via [`Value`]), the derive
+//! macros (re-exported from the sibling `serde_derive` stand-in), and
+//! `de::DeserializeOwned`. `serde_json` builds its parser/printer on
+//! top of the [`Value`] defined here (the one place both crates can
+//! share it without an orphan-rule fight).
+//!
+//! Floats round-trip exactly: the printer uses Rust's shortest
+//! round-trip `Display` for `f64`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Objects preserve insertion order (serialized structs keep their
+/// field order) and are backed by a plain `Vec` — documents here are
+/// small and order-stable output is worth more than O(log n) lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (also covers every non-negative integer ≤ i64::MAX).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Any number written with a fraction or exponent.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric coercion to `f64` (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable array, if it is one.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The value as a mutable object, if it is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let obj = self
+            .as_object_mut()
+            .unwrap_or_else(|| panic!("cannot index non-object value with `{key}`"));
+        let pos = obj.iter().position(|(k, _)| k == key);
+        match pos {
+            Some(i) => &mut obj[i].1,
+            None => {
+                obj.push((key.to_string(), Value::Null));
+                &mut obj.last_mut().expect("just pushed").1
+            }
+        }
+    }
+}
+
+/// Compact JSON rendering (what `serde_json::to_string` emits).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => fmt_f64(*x, f),
+            Value::String(s) => write_json_string(s, f),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Shortest decimal that parses back to exactly the same `f64`
+/// (Rust's `Display` for floats guarantees this). Non-finite values
+/// have no JSON spelling and degrade to `null`, as in JavaScript.
+fn fmt_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if x.is_finite() {
+        write!(f, "{x}")
+    } else {
+        f.write_str("null")
+    }
+}
+
+pub(crate) fn write_json_string(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Types that can turn themselves into a [`Value`].
+pub trait Serialize {
+    /// Serialize `self` into a JSON value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from a JSON value tree.
+    fn deserialize(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization support module (mirrors `serde::de`).
+pub mod de {
+    use std::fmt;
+
+    /// Deserialization error: a plain message.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Build an error from any displayable message.
+        pub fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for types deserializable without borrowing the input —
+    /// with this value-based model, every [`crate::Deserialize`] type.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization support module (mirrors `serde::ser`).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Looks a named field up in an object; missing fields deserialize from
+/// `null` so `Option` fields may be omitted. Used by the derive macros.
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, de::Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize(v).map_err(|e| de::Error::custom(format!("field `{name}`: {e}")))
+        }
+        None => T::deserialize(&Value::Null)
+            .map_err(|_| de::Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize / Deserialize for primitives and std containers.
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool()
+            .ok_or_else(|| de::Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, de::Error> {
+                match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| de::Error::custom("integer out of range")),
+                    _ => Err(de::Error::custom(concat!(
+                        "expected integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, de::Error> {
+                v.as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| de::Error::custom("expected number"))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| de::Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        v.as_array()
+            .ok_or_else(|| de::Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+// `Box<[T]>` serialization is covered by the blanket `Box<T: ?Sized>`
+// impl via `[T]: Serialize`; only deserialization needs its own impl.
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        Vec::<T>::deserialize(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, de::Error> {
+        v.as_object()
+            .ok_or_else(|| de::Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, de::Error> {
+                let a = v.as_array().ok_or_else(|| de::Error::custom("expected array"))?;
+                const N: usize = 0 $(+ { let _ = $n; 1 })+;
+                if a.len() != N {
+                    return Err(de::Error::custom("wrong tuple arity"));
+                }
+                Ok(($($t::deserialize(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

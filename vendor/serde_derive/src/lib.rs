@@ -1,0 +1,315 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available in this environment) derive
+//! macros for the subset of shapes this workspace serializes:
+//!
+//! * structs with named fields  → JSON objects,
+//! * tuple structs with one field (newtypes) → the inner value,
+//! * tuple structs with several fields → JSON arrays,
+//! * enums whose variants are all unit variants → JSON strings.
+//!
+//! Anything else (generics, data-carrying enums) produces a
+//! `compile_error!` so the failure is loud and local.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Ser => gen_serialize(&name, &shape),
+                Mode::De => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("serde_derive: generated code parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Parses the derive input down to a name and a field/variant shape.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stand-in: generic type `{name}` is unsupported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Named(named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::Tuple(tuple_arity(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            other => Err(format!("serde_derive: bad struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = unit_variants(g.stream(), &name)?;
+                Ok((name, Shape::UnitEnum(variants)))
+            }
+            other => Err(format!("serde_derive: bad enum body: {other:?}")),
+        },
+        other => Err(format!("serde_derive: cannot derive for `{other}`")),
+    }
+}
+
+/// Field names of a named struct. Types are skipped at angle-bracket
+/// depth zero so generic arguments containing commas do not split a
+/// field in two.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    'outer: loop {
+        // Attributes (doc comments included) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("serde_derive: expected field name, got {tok:?}"));
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        fields.push(field.to_string());
+        // Skip the type until a comma at angle depth 0.
+        let mut depth: i32 = 0;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => continue 'outer,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut commas = 0usize;
+    let mut saw_tokens = false;
+    let mut last_was_top_comma = false;
+    for tok in stream {
+        saw_tokens = true;
+        let is_top_comma = matches!(
+            &tok,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0
+        );
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+        last_was_top_comma = is_top_comma;
+    }
+    // `(A, B)` has 1 separating comma for 2 fields; a trailing comma
+    // (`(A, B,)`, what rustfmt emits multi-line) terminates rather than
+    // separates and must not count an extra field.
+    if !saw_tokens {
+        0
+    } else if last_was_top_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn unit_variants(stream: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            return Err(format!("serde_derive: expected enum variant, got {tok:?}"));
+        };
+        variants.push(variant.to_string());
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive stand-in: enum `{name}` variant `{variant}` carries data \
+                     ({other:?}); only unit variants are supported"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__o.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__o)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}), "))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!("match *self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__o, {f:?})?,\n"))
+                .collect();
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                 concat!(\"expected object for \", stringify!({name}))))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__a[{i}])?, "))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::de::Error::custom(\
+                 concat!(\"expected array for \", stringify!({name}))))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::de::Error::custom(concat!(\"wrong arity for \", stringify!({name})))); }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let __s = __v.as_str().ok_or_else(|| ::serde::de::Error::custom(\
+                 concat!(\"expected string for \", stringify!({name}))))?;\n\
+                 match __s {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(concat!(\"unknown \", stringify!({name}), \" variant `{{}}`\"), __other))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
