@@ -1,0 +1,427 @@
+//! # demt-api — the workspace-wide scheduling interface
+//!
+//! The paper's §2.2 argument — any off-line batch scheduler with a
+//! performance guarantee lifts to the on-line setting — is an interface
+//! statement: schedulers are interchangeable values. This crate is that
+//! interface, shared by every dispatch layer of the workspace (the CLI,
+//! the experiment harness, the on-line wrapper, and the front-end
+//! simulator):
+//!
+//! * [`Scheduler`] — the polymorphic algorithm: a name, a figure
+//!   legend, and `schedule(instance, context) → report`;
+//! * [`SchedulerContext`] — per-run shared state. It owns a
+//!   lazily-computed [`DualResult`] so DEMT and the three Graham-list
+//!   baselines stop recomputing the dual approximation for the same
+//!   instance, and counts how often the dual actually ran
+//!   ([`SchedulerContext::dual_runs`]) so tests can pin "at most once
+//!   per instance";
+//! * [`ScheduleReport`] — the uniform output: schedule + criteria +
+//!   wall-clock + per-phase timings, replacing the previous mix of bare
+//!   `Schedule`s and algorithm-specific result structs;
+//! * [`SchedulerRegistry`] — string-keyed lookup and iteration over a
+//!   set of boxed schedulers (the canonical six-algorithm registry
+//!   lives in `demt-baselines::registry`, downstream of the adapters);
+//! * [`FnScheduler`] — closure adapter so ad-hoc algorithms plug into
+//!   the same plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use demt_dual::{dual_approx, DualConfig, DualResult};
+use demt_model::Instance;
+use demt_platform::{Criteria, Schedule};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A batch scheduler: maps an off-line [`Instance`] to a
+/// [`ScheduleReport`], drawing shared per-run state (today: the dual
+/// approximation) from the [`SchedulerContext`].
+///
+/// Implementations must be stateless across calls (configuration is
+/// fine, mutation is not) so one boxed instance can serve a whole
+/// process from a registry.
+pub trait Scheduler: Send + Sync {
+    /// Short machine name — CLI `--algorithm` value, CSV column,
+    /// registry key. Must be unique within a registry.
+    fn name(&self) -> &str;
+
+    /// Legend label as printed in the paper's figures.
+    fn legend(&self) -> &str;
+
+    /// Schedules the instance. The context carries the shared dual
+    /// approximation; schedulers that need it call
+    /// [`SchedulerContext::dual`] instead of running their own.
+    fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport;
+}
+
+/// Shared per-run state handed to every [`Scheduler::schedule`] call.
+///
+/// The context caches the dual-approximation result keyed by an
+/// instance fingerprint: running several schedulers (or the same one
+/// twice) on one instance computes the dual once. Switching to another
+/// instance — the on-line wrapper feeds one sub-instance per batch —
+/// transparently recomputes.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerContext {
+    dual_cfg: DualConfig,
+    cache: Option<(u64, DualResult)>,
+    dual_runs: usize,
+}
+
+impl SchedulerContext {
+    /// Context with the default [`DualConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Context with an explicit dual-approximation configuration.
+    pub fn with_dual_config(dual_cfg: DualConfig) -> Self {
+        Self {
+            dual_cfg,
+            cache: None,
+            dual_runs: 0,
+        }
+    }
+
+    /// The dual configuration governing [`SchedulerContext::dual`].
+    pub fn dual_config(&self) -> &DualConfig {
+        &self.dual_cfg
+    }
+
+    /// The shared dual-approximation result for `inst`, computed on
+    /// first use and cached for subsequent calls with the same
+    /// instance. Panics if `inst` is empty (the dual approximation is
+    /// undefined there — schedulers must special-case empty instances
+    /// before asking for it).
+    pub fn dual(&mut self, inst: &Instance) -> &DualResult {
+        let fp = fingerprint(inst);
+        let hit = matches!(&self.cache, Some((key, _)) if *key == fp);
+        if !hit {
+            self.dual_runs += 1;
+            self.cache = Some((fp, dual_approx(inst, &self.dual_cfg)));
+        }
+        &self.cache.as_ref().expect("cache filled above").1
+    }
+
+    /// How many times [`SchedulerContext::dual`] actually ran the dual
+    /// approximation (cache misses). The sharing contract is "at most
+    /// once per instance per run"; tests pin this counter.
+    pub fn dual_runs(&self) -> usize {
+        self.dual_runs
+    }
+}
+
+/// FNV-1a over the instance's full numeric content (processor count,
+/// task count, weights, and every point of every execution-time
+/// vector). Collisions between instances met by one context are
+/// astronomically unlikely; a miss only costs a redundant dual run.
+fn fingerprint(inst: &Instance) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(inst.procs() as u64);
+    mix(inst.len() as u64);
+    for t in inst.tasks() {
+        mix(t.weight().to_bits());
+        for &x in t.times() {
+            mix(x.to_bits());
+        }
+    }
+    h
+}
+
+/// Wall-clock of one named phase inside a scheduler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase label (e.g. `"dual"`, `"list"`, `"compaction"`).
+    pub phase: String,
+    /// Elapsed wall-clock, seconds.
+    pub seconds: f64,
+}
+
+/// Uniform scheduler output: the schedule, its evaluation under both
+/// criteria, and timing diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Name of the scheduler that produced this report
+    /// ([`Scheduler::name`]).
+    pub algorithm: String,
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// Both criteria plus auxiliary metrics, evaluated on `schedule`.
+    pub criteria: Criteria,
+    /// Total scheduling wall-clock, seconds.
+    pub wall_seconds: f64,
+    /// Per-phase wall-clock breakdown, in execution order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+/// Builder for [`ScheduleReport`]s: started when the scheduler begins,
+/// phases recorded along the way, finished with the schedule.
+///
+/// ```
+/// use demt_api::ReportTimer;
+/// use demt_model::Instance;
+/// use demt_platform::Schedule;
+/// let inst = demt_workload::generate(demt_workload::WorkloadKind::Mixed, 5, 4, 1);
+/// let mut timer = ReportTimer::start();
+/// let schedule = timer.phase("noop", || Schedule::new(inst.procs()));
+/// # let _ = &inst; // a real scheduler would place every task
+/// ```
+#[derive(Debug)]
+pub struct ReportTimer {
+    t0: Instant,
+    phases: Vec<PhaseTiming>,
+}
+
+impl ReportTimer {
+    /// Starts the overall wall-clock.
+    pub fn start() -> Self {
+        Self {
+            t0: Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Runs `f` as a named phase, recording its wall-clock.
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(name, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Records an externally-timed phase.
+    pub fn record(&mut self, name: &str, seconds: f64) {
+        self.phases.push(PhaseTiming {
+            phase: name.to_string(),
+            seconds,
+        });
+    }
+
+    /// Finishes the report, evaluating [`Criteria`] on the schedule.
+    pub fn finish(self, algorithm: &str, inst: &Instance, schedule: Schedule) -> ScheduleReport {
+        let criteria = Criteria::evaluate(inst, &schedule);
+        self.finish_with(algorithm, schedule, criteria)
+    }
+
+    /// Finishes the report with criteria the scheduler already
+    /// evaluated (avoids a redundant evaluation pass).
+    pub fn finish_with(
+        self,
+        algorithm: &str,
+        schedule: Schedule,
+        criteria: Criteria,
+    ) -> ScheduleReport {
+        ScheduleReport {
+            algorithm: algorithm.to_string(),
+            schedule,
+            criteria,
+            wall_seconds: self.t0.elapsed().as_secs_f64(),
+            phases: self.phases,
+        }
+    }
+}
+
+/// String-keyed registry of boxed schedulers: `by_name` lookup for
+/// dispatch sites, `all` iteration for sweeps and conformance tests.
+#[derive(Default)]
+pub struct SchedulerRegistry {
+    entries: Vec<Box<dyn Scheduler>>,
+}
+
+impl SchedulerRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a scheduler. Panics if its name is already registered —
+    /// duplicate names would make string dispatch ambiguous.
+    pub fn register(&mut self, scheduler: Box<dyn Scheduler>) {
+        assert!(
+            self.by_name(scheduler.name()).is_none(),
+            "scheduler {:?} registered twice",
+            scheduler.name()
+        );
+        self.entries.push(scheduler);
+    }
+
+    /// Looks a scheduler up by its [`Scheduler::name`].
+    pub fn by_name(&self, name: &str) -> Option<&dyn Scheduler> {
+        self.entries
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.as_ref())
+    }
+
+    /// Every registered scheduler, in registration order.
+    pub fn all(&self) -> impl Iterator<Item = &dyn Scheduler> + '_ {
+        self.entries.iter().map(|s| s.as_ref())
+    }
+
+    /// Registered names, in registration order (CLI accepted-values
+    /// lists and error messages derive from this).
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of registered schedulers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SchedulerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// Closure adapter: wraps any `Fn(&Instance, &mut SchedulerContext) →
+/// Schedule` into a [`Scheduler`], timing it as a single phase and
+/// evaluating criteria — the migration path for ad-hoc algorithms.
+pub struct FnScheduler<F> {
+    name: String,
+    legend: String,
+    f: F,
+}
+
+impl<F> FnScheduler<F>
+where
+    F: Fn(&Instance, &mut SchedulerContext) -> Schedule + Send + Sync,
+{
+    /// Wraps `f` under the given registry name and figure legend.
+    pub fn new(name: impl Into<String>, legend: impl Into<String>, f: F) -> Self {
+        Self {
+            name: name.into(),
+            legend: legend.into(),
+            f,
+        }
+    }
+}
+
+impl<F> Scheduler for FnScheduler<F>
+where
+    F: Fn(&Instance, &mut SchedulerContext) -> Schedule + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn legend(&self) -> &str {
+        &self.legend
+    }
+
+    fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport {
+        let mut timer = ReportTimer::start();
+        let schedule = timer.phase("schedule", || (self.f)(inst, ctx));
+        timer.finish(self.name(), inst, schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use demt_platform::Placement;
+    use demt_workload::{generate, WorkloadKind};
+
+    /// A toy sequential scheduler for exercising the plumbing.
+    fn one_proc_chain(inst: &Instance, _ctx: &mut SchedulerContext) -> Schedule {
+        let mut s = Schedule::new(inst.procs());
+        let mut t0 = 0.0;
+        for t in inst.tasks() {
+            let d = t.seq_time();
+            s.push(Placement {
+                task: t.id(),
+                start: t0,
+                duration: d,
+                procs: vec![0],
+            });
+            t0 += d;
+        }
+        s
+    }
+
+    #[test]
+    fn context_dual_is_computed_once_per_instance() {
+        let inst = generate(WorkloadKind::Mixed, 20, 8, 1);
+        let mut ctx = SchedulerContext::new();
+        let lb = ctx.dual(&inst).lower_bound;
+        assert_eq!(ctx.dual_runs(), 1);
+        // Same instance again: cache hit, identical result.
+        assert_eq!(ctx.dual(&inst).lower_bound, lb);
+        assert_eq!(ctx.dual_runs(), 1);
+    }
+
+    #[test]
+    fn context_detects_instance_change() {
+        let a = generate(WorkloadKind::Mixed, 20, 8, 1);
+        let b = generate(WorkloadKind::Mixed, 20, 8, 2); // same shape, new seed
+        let mut ctx = SchedulerContext::new();
+        ctx.dual(&a);
+        ctx.dual(&b);
+        assert_eq!(ctx.dual_runs(), 2, "different instances must recompute");
+        ctx.dual(&b);
+        assert_eq!(ctx.dual_runs(), 2);
+        // Going back to `a` recomputes — the cache holds one entry.
+        ctx.dual(&a);
+        assert_eq!(ctx.dual_runs(), 3);
+    }
+
+    #[test]
+    fn fn_scheduler_produces_conforming_reports() {
+        let inst = generate(WorkloadKind::WeaklyParallel, 10, 4, 3);
+        let s = FnScheduler::new("chain", "Chain", one_proc_chain);
+        let mut ctx = SchedulerContext::new();
+        let report = s.schedule(&inst, &mut ctx);
+        assert_eq!(report.algorithm, "chain");
+        demt_platform::validate(&inst, &report.schedule).unwrap();
+        let c = Criteria::evaluate(&inst, &report.schedule);
+        assert_eq!(report.criteria, c);
+        assert!(report.wall_seconds >= 0.0);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "schedule");
+    }
+
+    #[test]
+    fn registry_lookup_and_iteration() {
+        let mut reg = SchedulerRegistry::new();
+        reg.register(Box::new(FnScheduler::new("a", "A", one_proc_chain)));
+        reg.register(Box::new(FnScheduler::new("b", "B", one_proc_chain)));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.names(), vec!["a", "b"]);
+        assert_eq!(reg.by_name("b").unwrap().legend(), "B");
+        assert!(reg.by_name("c").is_none());
+        let legends: Vec<&str> = reg.all().map(|s| s.legend()).collect();
+        assert_eq!(legends, vec!["A", "B"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicate_names() {
+        let mut reg = SchedulerRegistry::new();
+        reg.register(Box::new(FnScheduler::new("a", "A", one_proc_chain)));
+        reg.register(Box::new(FnScheduler::new("a", "A again", one_proc_chain)));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let inst = generate(WorkloadKind::Cirne, 6, 4, 9);
+        let s = FnScheduler::new("chain", "Chain", one_proc_chain);
+        let report = s.schedule(&inst, &mut SchedulerContext::new());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ScheduleReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

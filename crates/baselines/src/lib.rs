@@ -25,6 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod registry;
+
+pub use registry::{
+    registry, GangScheduler, ListSafScheduler, ListShelfScheduler, ListWlptfScheduler,
+    SequentialScheduler,
+};
+
 use demt_dual::{dual_approx, DualConfig, DualResult};
 use demt_model::{Instance, TaskId};
 use demt_platform::{list_schedule, ListPolicy, ListTask, Placement, Schedule};

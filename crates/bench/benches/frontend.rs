@@ -21,6 +21,7 @@ fn queues(c: &mut Criterion) {
             procs: 64,
             mean_interarrival: 0.2,
             seed: 1,
+            ..StreamSpec::default()
         };
         let jobs = submit_stream(&spec);
         for policy in [QueuePolicy::Fcfs, QueuePolicy::EasyBackfill] {

@@ -32,27 +32,48 @@ pub struct DemtResult {
 
 /// Runs DEMT with the given configuration (use
 /// [`DemtConfig::default`] for the paper's algorithm).
+///
+/// Step 1 of the pipeline is a dual-approximation run configured by
+/// `cfg.dual`; callers that already hold a [`demt_dual::DualResult`]
+/// for this instance (the shared `demt_api::SchedulerContext` path)
+/// should use [`demt_schedule_with_dual`] instead of paying it twice.
 pub fn demt_schedule(inst: &Instance, cfg: &DemtConfig) -> DemtResult {
-    let m = inst.procs();
     if inst.is_empty() {
-        let schedule = Schedule::new(m);
-        let criteria = Criteria::evaluate(inst, &schedule);
-        return DemtResult {
-            schedule,
-            criteria,
-            raw_criteria: criteria,
-            plan: BatchPlan {
-                cmax_estimate: 0.0,
-                k: 0,
-                batches: Vec::new(),
-            },
-            cmax_estimate: 0.0,
-            cmax_lower_bound: 0.0,
-        };
+        return empty_result(inst);
     }
-
     // Step 1: dual approximation gives the C*max estimate (§3.2 line 1).
     let dual = dual_approx(inst, &cfg.dual);
+    demt_schedule_with_dual(inst, cfg, &dual)
+}
+
+fn empty_result(inst: &Instance) -> DemtResult {
+    let schedule = Schedule::new(inst.procs());
+    let criteria = Criteria::evaluate(inst, &schedule);
+    DemtResult {
+        schedule,
+        criteria,
+        raw_criteria: criteria,
+        plan: BatchPlan {
+            cmax_estimate: 0.0,
+            k: 0,
+            batches: Vec::new(),
+        },
+        cmax_estimate: 0.0,
+        cmax_lower_bound: 0.0,
+    }
+}
+
+/// [`demt_schedule`] steps 2–4 on a dual-approximation result the
+/// caller already computed for this instance (`cfg.dual` is ignored).
+pub fn demt_schedule_with_dual(
+    inst: &Instance,
+    cfg: &DemtConfig,
+    dual: &demt_dual::DualResult,
+) -> DemtResult {
+    let m = inst.procs();
+    if inst.is_empty() {
+        return empty_result(inst);
+    }
     let plan = build_batches(inst, cfg, dual.cmax_estimate);
 
     // Step 2: raw placement — every batch entry starts at t_j, chains

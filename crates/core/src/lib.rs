@@ -37,7 +37,9 @@
 mod algorithm;
 mod batches;
 mod config;
+mod scheduler;
 
-pub use algorithm::{demt_schedule, DemtResult};
+pub use algorithm::{demt_schedule, demt_schedule_with_dual, DemtResult};
 pub use batches::{build_batches, Batch, BatchEntry, BatchPlan};
 pub use config::{Compaction, DemtConfig, LocalOrder};
+pub use scheduler::DemtScheduler;

@@ -1,0 +1,110 @@
+//! [`Scheduler`] adapter: DEMT behind the workspace-wide scheduling
+//! interface. [`demt_schedule`](crate::demt_schedule) stays exported as
+//! the thin direct entry point; this adapter is what the registry, the
+//! CLI, the on-line wrapper, and the experiment harness dispatch on.
+
+use crate::{demt_schedule_with_dual, DemtConfig};
+use demt_api::{ReportTimer, ScheduleReport, Scheduler, SchedulerContext};
+use demt_model::Instance;
+use demt_platform::Schedule;
+use std::time::Instant;
+
+/// The paper's algorithm as a registry entry (name `"demt"`).
+///
+/// The dual-approximation step is drawn from the [`SchedulerContext`]
+/// (shared with the Graham-list baselines), configured by the context's
+/// dual config rather than `DemtConfig::dual`.
+#[derive(Debug, Clone, Default)]
+pub struct DemtScheduler {
+    cfg: DemtConfig,
+}
+
+impl DemtScheduler {
+    /// DEMT with a non-default configuration (ablation variants).
+    ///
+    /// `cfg.dual` is **not** used by this adapter: the dual
+    /// approximation comes from the shared [`SchedulerContext`], whose
+    /// own config governs it (build the context with
+    /// `SchedulerContext::with_dual_config` to tighten it). Only the
+    /// direct `demt_schedule` free function honors `cfg.dual`.
+    pub fn new(cfg: DemtConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this adapter schedules with.
+    pub fn config(&self) -> &DemtConfig {
+        &self.cfg
+    }
+}
+
+impl Scheduler for DemtScheduler {
+    fn name(&self) -> &str {
+        "demt"
+    }
+
+    fn legend(&self) -> &str {
+        "DEMT"
+    }
+
+    fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport {
+        let mut timer = ReportTimer::start();
+        if inst.is_empty() {
+            // The dual approximation is undefined on empty instances.
+            return timer.finish(self.name(), inst, Schedule::new(inst.procs()));
+        }
+        let t0 = Instant::now();
+        let dual = ctx.dual(inst);
+        timer.record("dual", t0.elapsed().as_secs_f64());
+        let result = timer.phase("batch+compact", || {
+            demt_schedule_with_dual(inst, &self.cfg, dual)
+        });
+        timer.finish_with(self.name(), result.schedule, result.criteria)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demt_schedule;
+    use demt_model::InstanceBuilder;
+    use demt_platform::{validate, Criteria};
+    use demt_workload::{generate, WorkloadKind};
+
+    #[test]
+    fn adapter_matches_the_free_function() {
+        let inst = generate(WorkloadKind::Mixed, 30, 8, 5);
+        let direct = demt_schedule(&inst, &DemtConfig::default());
+        let mut ctx = SchedulerContext::new();
+        let report = DemtScheduler::default().schedule(&inst, &mut ctx);
+        assert_eq!(report.schedule, direct.schedule);
+        assert_eq!(report.criteria, direct.criteria);
+        assert_eq!(report.algorithm, "demt");
+        assert_eq!(ctx.dual_runs(), 1);
+    }
+
+    #[test]
+    fn adapter_reuses_the_context_dual() {
+        let inst = generate(WorkloadKind::Cirne, 25, 8, 2);
+        let mut ctx = SchedulerContext::new();
+        let s = DemtScheduler::default();
+        s.schedule(&inst, &mut ctx);
+        s.schedule(&inst, &mut ctx);
+        assert_eq!(ctx.dual_runs(), 1, "second run must hit the dual cache");
+    }
+
+    #[test]
+    fn empty_instance_reports_empty_schedule() {
+        let inst = InstanceBuilder::new(3).build().unwrap();
+        let report = DemtScheduler::default().schedule(&inst, &mut SchedulerContext::new());
+        assert!(report.schedule.is_empty());
+        assert_eq!(report.criteria.makespan, 0.0);
+        validate(&inst, &report.schedule).unwrap();
+    }
+
+    #[test]
+    fn report_criteria_match_reevaluation() {
+        let inst = generate(WorkloadKind::HighlyParallel, 20, 8, 4);
+        let report = DemtScheduler::default().schedule(&inst, &mut SchedulerContext::new());
+        assert_eq!(report.criteria, Criteria::evaluate(&inst, &report.schedule));
+    }
+}

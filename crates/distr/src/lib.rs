@@ -262,6 +262,59 @@ impl Variate for Exponential {
     }
 }
 
+/// Pareto law with scale `xm > 0` and shape `α > 0`:
+/// `P(X > x) = (xm/x)^α` for `x ≥ xm`, via inverse transform
+/// `xm · u^(-1/α)`.
+///
+/// The classic heavy-tailed law for job inter-arrival times: real
+/// cluster traces are bursty, with quiet stretches punctuated by
+/// submission storms, which the memoryless exponential cannot produce.
+/// Shapes `α ≤ 1` have infinite mean; `α ≤ 2` infinite variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Pareto with scale `xm > 0` and shape `α > 0`.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0,
+            "invalid pareto parameters"
+        );
+        Self { scale, shape }
+    }
+
+    /// Pareto with the given mean and shape `α > 1` (the mean
+    /// `α·xm/(α−1)` only exists there): `xm = mean·(α−1)/α`.
+    pub fn with_mean(mean: f64, shape: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0 && shape.is_finite() && shape > 1.0,
+            "pareto mean requires shape > 1"
+        );
+        Self::new(mean * (shape - 1.0) / shape, shape)
+    }
+
+    /// The scale `xm` (the distribution's minimum).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The tail shape `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl Variate for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u ∈ (0, 1] keeps the power finite.
+        let u = 1.0 - rng.random::<f64>();
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+}
+
 /// Mixture of two variates: draws from `a` with probability `p_a`,
 /// otherwise from `b`. Implements the paper's mixed workload (70% small
 /// tasks / 30% large tasks).
@@ -419,6 +472,38 @@ mod tests {
     #[should_panic(expected = "invalid exponential rate")]
     fn exponential_rejects_zero_rate() {
         let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let p = Pareto::with_mean(2.0, 3.0);
+        assert!((p.scale() - 4.0 / 3.0).abs() < 1e-12);
+        let xs = p.sample_n(&mut seeded_rng(10), 40_000);
+        assert!(xs.iter().all(|&x| x >= p.scale()));
+        let (m, _) = mean_sd(&xs);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_tail_is_heavier_than_exponential() {
+        // Same mean; the Pareto maximum over n draws grows like n^(1/α)
+        // while the exponential maximum grows like ln n.
+        let n = 40_000;
+        let par = Pareto::with_mean(1.0, 1.5).sample_n(&mut seeded_rng(11), n);
+        let exp = Exponential::with_mean(1.0).sample_n(&mut seeded_rng(11), n);
+        let max = |xs: &[f64]| xs.iter().fold(0.0_f64, |a, &b| a.max(b));
+        assert!(
+            max(&par) > 4.0 * max(&exp),
+            "pareto max {} vs exponential max {}",
+            max(&par),
+            max(&exp)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape > 1")]
+    fn pareto_with_mean_rejects_infinite_mean_shapes() {
+        let _ = Pareto::with_mean(1.0, 1.0);
     }
 
     #[test]

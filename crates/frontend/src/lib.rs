@@ -22,6 +22,7 @@
 //! let spec = StreamSpec {
 //!     kind: WorkloadKind::Cirne, jobs: 30, procs: 16,
 //!     mean_interarrival: 0.8, seed: 3,
+//!     ..StreamSpec::default()
 //! };
 //! let jobs = submit_stream(&spec);
 //! let schedule = queue_schedule(16, &jobs, QueuePolicy::EasyBackfill);
@@ -39,9 +40,10 @@ mod swf;
 
 pub use easy::{queue_schedule, queue_schedule_ordered, QueueOrder, QueuePolicy};
 pub use metrics::{job_metrics, stream_metrics, JobMetrics, StreamMetrics, SLOWDOWN_TAU};
-pub use stream::{rigid_request, submit_stream, StreamSpec, SubmittedJob};
+pub use stream::{rigid_request, submit_stream, ArrivalModel, StreamSpec, SubmittedJob};
 pub use swf::{parse_swf, stream_from_swf, write_swf, SwfError, SwfRecord};
 
+use demt_api::Scheduler;
 use demt_model::Instance;
 use demt_online::OnlineJob;
 use demt_platform::Schedule;
@@ -74,13 +76,10 @@ pub fn moldable_instance(m: usize, jobs: &[SubmittedJob]) -> (Instance, Vec<f64>
     (inst, jobs.iter().map(|j| j.release).collect())
 }
 
-/// Runs the moldable path: SWW batches (`demt-online`) over an
-/// arbitrary off-line scheduler (pass DEMT for the paper's system).
-pub fn moldable_schedule(
-    m: usize,
-    jobs: &[SubmittedJob],
-    scheduler: impl FnMut(&Instance) -> Schedule,
-) -> Schedule {
+/// Runs the moldable path: SWW batches (`demt-online`) over any
+/// [`Scheduler`] (pass the registry's `"demt"` entry for the paper's
+/// system).
+pub fn moldable_schedule(m: usize, jobs: &[SubmittedJob], scheduler: &dyn Scheduler) -> Schedule {
     let online_jobs: Vec<OnlineJob> = jobs
         .iter()
         .map(|j| OnlineJob {
@@ -94,7 +93,7 @@ pub fn moldable_schedule(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use demt_core::{demt_schedule, DemtConfig};
+    use demt_core::DemtScheduler;
     use demt_platform::validate_with_releases;
     use demt_workload::WorkloadKind;
 
@@ -105,6 +104,7 @@ mod tests {
             procs: 16,
             mean_interarrival: 0.4,
             seed: 11,
+            ..StreamSpec::default()
         }
     }
 
@@ -124,9 +124,7 @@ mod tests {
     fn moldable_path_validates_and_beats_fcfs_on_waits() {
         let jobs = submit_stream(&spec());
         let (inst, releases) = moldable_instance(16, &jobs);
-        let demt = moldable_schedule(16, &jobs, |i| {
-            demt_schedule(i, &DemtConfig::default()).schedule
-        });
+        let demt = moldable_schedule(16, &jobs, &DemtScheduler::default());
         validate_with_releases(&inst, &demt, Some(&releases)).unwrap();
 
         let fcfs = queue_schedule(16, &jobs, QueuePolicy::Fcfs);

@@ -3,7 +3,7 @@
 //! moldability (paper §2.1: "the number of processors is fixed by the
 //! user at submission time").
 
-use demt_distr::{seeded_rng, Exponential, Variate};
+use demt_distr::{seeded_rng, Exponential, Pareto, Variate};
 use demt_model::MoldableTask;
 use demt_workload::{generate, WorkloadKind};
 use rand::Rng;
@@ -28,6 +28,17 @@ impl SubmittedJob {
     }
 }
 
+/// Inter-arrival law of the submission stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Exponential gaps — the memoryless Poisson process.
+    Poisson,
+    /// Pareto gaps (shape from [`StreamSpec::pareto_shape`]) — the
+    /// heavy-tailed burstiness of real cluster traces: submission
+    /// storms separated by long quiet stretches.
+    Pareto,
+}
+
 /// Parameters of a submission stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamSpec {
@@ -37,10 +48,31 @@ pub struct StreamSpec {
     pub jobs: usize,
     /// Cluster size `m`.
     pub procs: usize,
-    /// Mean inter-arrival time (Poisson process).
+    /// Mean inter-arrival time (both models are parameterized by it).
     pub mean_interarrival: f64,
+    /// Inter-arrival law.
+    pub arrivals: ArrivalModel,
+    /// Tail shape `α > 1` of the Pareto model (ignored for Poisson);
+    /// smaller is burstier, `α ≤ 2` has infinite variance.
+    pub pareto_shape: f64,
     /// RNG seed.
     pub seed: u64,
+}
+
+impl Default for StreamSpec {
+    /// The CLI's defaults: 60 Cirne jobs on 32 processors, Poisson
+    /// arrivals at one job per 0.5 time units, seed 0.
+    fn default() -> Self {
+        Self {
+            kind: WorkloadKind::Cirne,
+            jobs: 60,
+            procs: 32,
+            mean_interarrival: 0.5,
+            arrivals: ArrivalModel::Poisson,
+            pareto_shape: 2.5,
+            seed: 0,
+        }
+    }
 }
 
 /// The classic user request rule: the smallest allotment reaching 80%
@@ -55,12 +87,33 @@ pub fn rigid_request(task: &MoldableTask, m: usize) -> usize {
     knee.next_power_of_two().min(m).max(1)
 }
 
-/// Generates the stream: shapes from the workload family, exponential
-/// inter-arrival gaps, rigid requests by the knee rule.
+/// The spec's inter-arrival law as a boxed-free sum type.
+enum GapLaw {
+    Exp(Exponential),
+    Par(Pareto),
+}
+
+impl Variate for GapLaw {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            GapLaw::Exp(e) => e.sample(rng),
+            GapLaw::Par(p) => p.sample(rng),
+        }
+    }
+}
+
+/// Generates the stream: shapes from the workload family, inter-arrival
+/// gaps from the spec's [`ArrivalModel`], rigid requests by the knee
+/// rule.
 pub fn submit_stream(spec: &StreamSpec) -> Vec<SubmittedJob> {
     let inst = generate(spec.kind, spec.jobs, spec.procs, spec.seed);
     let mut rng = seeded_rng(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
-    let gap = Exponential::with_mean(spec.mean_interarrival);
+    let gap = match spec.arrivals {
+        ArrivalModel::Poisson => GapLaw::Exp(Exponential::with_mean(spec.mean_interarrival)),
+        ArrivalModel::Pareto => {
+            GapLaw::Par(Pareto::with_mean(spec.mean_interarrival, spec.pareto_shape))
+        }
+    };
     let mut t = 0.0;
     inst.tasks()
         .iter()
@@ -92,6 +145,7 @@ mod tests {
             procs: 32,
             mean_interarrival: 0.5,
             seed: 5,
+            ..StreamSpec::default()
         }
     }
 
@@ -141,5 +195,51 @@ mod tests {
         let span = jobs.last().unwrap().release;
         let mean = span / 4000.0;
         assert!((mean - 2.0).abs() < 0.15, "empirical mean gap {mean}");
+    }
+
+    #[test]
+    fn pareto_stream_keeps_the_mean_but_is_burstier() {
+        let mut s = spec();
+        s.jobs = 4000;
+        s.mean_interarrival = 2.0;
+        s.arrivals = ArrivalModel::Pareto;
+        s.pareto_shape = 2.5;
+        let pareto = submit_stream(&s);
+        for w in pareto.windows(2) {
+            assert!(w[1].release >= w[0].release);
+        }
+        let mean = pareto.last().unwrap().release / 4000.0;
+        assert!((mean - 2.0).abs() < 0.3, "empirical mean gap {mean}");
+
+        // Burstiness: the largest single gap dwarfs the Poisson one.
+        let max_gap = |jobs: &[SubmittedJob]| {
+            jobs.windows(2)
+                .map(|w| w[1].release - w[0].release)
+                .fold(0.0_f64, f64::max)
+        };
+        s.arrivals = ArrivalModel::Poisson;
+        let poisson = submit_stream(&s);
+        assert!(
+            max_gap(&pareto) > 1.5 * max_gap(&poisson),
+            "pareto max gap {} vs poisson {}",
+            max_gap(&pareto),
+            max_gap(&poisson)
+        );
+    }
+
+    #[test]
+    fn arrival_model_changes_only_the_releases() {
+        let mut s = spec();
+        let poisson = submit_stream(&s);
+        s.arrivals = ArrivalModel::Pareto;
+        let pareto = submit_stream(&s);
+        for (a, b) in poisson.iter().zip(&pareto) {
+            assert_eq!(a.task, b.task, "job shapes must not depend on arrivals");
+            assert_eq!(a.rigid_procs, b.rigid_procs);
+        }
+        assert_ne!(
+            poisson.last().unwrap().release,
+            pareto.last().unwrap().release
+        );
     }
 }

@@ -8,27 +8,27 @@
 //! deployment of exactly this wrapper as on-going work; this crate
 //! implements it as the reproduction's extension feature.
 //!
-//! The wrapper is scheduler-agnostic: anything that maps an off-line
-//! [`Instance`] to a [`Schedule`] (DEMT, any baseline, or a custom
-//! closure) can be lifted with [`online_batch_schedule`].
+//! The wrapper is scheduler-agnostic: any [`Scheduler`] — DEMT, a
+//! baseline from the registry, or an ad-hoc `demt_api::FnScheduler` —
+//! can be lifted with [`online_batch_schedule`].
 //!
 //! ```
 //! use demt_online::{online_batch_schedule, OnlineJob};
+//! use demt_core::DemtScheduler;
 //! use demt_model::MoldableTask;
 //! # use demt_model::TaskId;
 //! let jobs = vec![
 //!     OnlineJob { task: MoldableTask::linear(TaskId(0), 1.0, 4.0, 2).unwrap(), release: 0.0 },
 //!     OnlineJob { task: MoldableTask::linear(TaskId(1), 1.0, 4.0, 2).unwrap(), release: 1.0 },
 //! ];
-//! let result = online_batch_schedule(2, &jobs, |inst| {
-//!     demt_core::demt_schedule(inst, &demt_core::DemtConfig::default()).schedule
-//! });
+//! let result = online_batch_schedule(2, &jobs, &DemtScheduler::default());
 //! assert_eq!(result.schedule.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use demt_api::{Scheduler, SchedulerContext};
 use demt_model::{Instance, MoldableTask, TaskId};
 use demt_platform::{Placement, Schedule};
 
@@ -65,15 +65,19 @@ pub struct OnlineResult {
 /// Runs the Shmoys–Wein–Williamson batch framework on `m` processors:
 /// while jobs remain, gather everything released by the current instant
 /// (fast-forwarding through idle gaps), hand the sub-instance to the
-/// off-line `scheduler`, execute the returned schedule as one batch, and
-/// repeat when it completes.
+/// off-line `scheduler` (any registry entry), execute the returned
+/// schedule as one batch, and repeat when it completes.
+///
+/// One [`SchedulerContext`] spans the whole run, so a scheduler that
+/// needs the dual approximation computes it once per batch (each batch
+/// is a distinct sub-instance).
 ///
 /// Panics if job ids are not dense `0..n`, if any release is negative or
 /// non-finite, or if a task's vector does not cover `m` processors.
 pub fn online_batch_schedule(
     m: usize,
     jobs: &[OnlineJob],
-    mut scheduler: impl FnMut(&Instance) -> Schedule,
+    scheduler: &dyn Scheduler,
 ) -> OnlineResult {
     for (i, j) in jobs.iter().enumerate() {
         assert_eq!(j.task.id().index(), i, "job ids must be dense 0..n");
@@ -86,6 +90,7 @@ pub fn online_batch_schedule(
     let full = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
         .expect("dense ids validated above");
 
+    let mut ctx = SchedulerContext::new();
     let mut done = vec![false; jobs.len()];
     let mut now = 0.0_f64;
     let mut schedule = Schedule::new(m);
@@ -110,7 +115,7 @@ pub fn online_batch_schedule(
         }
         ready.sort();
         let (sub, mapping) = full.restrict(&ready);
-        let inner = scheduler(&sub);
+        let inner = scheduler.schedule(&sub, &mut ctx).schedule;
         assert_eq!(inner.len(), sub.len(), "off-line scheduler dropped a job");
         let length = inner.makespan();
         for p in inner.placements() {
@@ -143,13 +148,13 @@ pub fn release_vector(jobs: &[OnlineJob]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use demt_core::{demt_schedule, DemtConfig};
+    use demt_core::DemtScheduler;
     use demt_platform::{validate_with_releases, Criteria};
     use demt_workload::{generate, WorkloadKind};
     use rand::Rng;
 
-    fn demt(inst: &Instance) -> Schedule {
-        demt_schedule(inst, &DemtConfig::default()).schedule
+    fn demt() -> DemtScheduler {
+        DemtScheduler::default()
     }
 
     fn online_jobs(
@@ -181,8 +186,10 @@ mod tests {
                 release: 0.0,
             })
             .collect();
-        let on = online_batch_schedule(8, &jobs, demt);
-        let off = demt(&inst);
+        let on = online_batch_schedule(8, &jobs, &demt());
+        let off = demt()
+            .schedule(&inst, &mut SchedulerContext::new())
+            .schedule;
         assert_eq!(on.batches.len(), 1, "everything fits one batch");
         assert!((on.schedule.makespan() - off.makespan()).abs() < 1e-9);
     }
@@ -192,14 +199,14 @@ mod tests {
         let jobs = online_jobs(WorkloadKind::Cirne, 30, 8, 7, 20.0);
         let releases = release_vector(&jobs);
         let inst = Instance::new(8, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
-        let on = online_batch_schedule(8, &jobs, demt);
+        let on = online_batch_schedule(8, &jobs, &demt());
         validate_with_releases(&inst, &on.schedule, Some(&releases)).unwrap();
     }
 
     #[test]
     fn batches_are_contiguous_and_causal() {
         let jobs = online_jobs(WorkloadKind::HighlyParallel, 40, 8, 3, 15.0);
-        let on = online_batch_schedule(8, &jobs, demt);
+        let on = online_batch_schedule(8, &jobs, &demt());
         for w in on.batches.windows(2) {
             assert!(
                 w[1].start >= w[0].start + w[0].length - 1e-9,
@@ -222,7 +229,7 @@ mod tests {
         for seed in 0..3 {
             let jobs = online_jobs(WorkloadKind::Mixed, 30, 8, seed, 10.0);
             let inst = Instance::new(8, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
-            let on = online_batch_schedule(8, &jobs, demt);
+            let on = online_batch_schedule(8, &jobs, &demt());
             let lb = demt_dual::cmax_lower_bound(&inst, 1e-3)
                 .max(jobs.iter().map(|j| j.release).fold(0.0, f64::max));
             assert!(
@@ -247,7 +254,7 @@ mod tests {
                 release: 0.5,
             },
         ];
-        let on = online_batch_schedule(2, &jobs, demt);
+        let on = online_batch_schedule(2, &jobs, &demt());
         assert_eq!(on.batches.len(), 2);
         let p1 = on.schedule.placement_of(TaskId(1)).unwrap();
         assert!(p1.start >= 4.0 - 1e-9, "late job started at {}", p1.start);
@@ -265,7 +272,7 @@ mod tests {
                 release: 10.0,
             },
         ];
-        let on = online_batch_schedule(2, &jobs, demt);
+        let on = online_batch_schedule(2, &jobs, &demt());
         assert_eq!(on.batches.len(), 2);
         assert!((on.batches[1].start - 10.0).abs() < 1e-9);
     }
@@ -274,7 +281,7 @@ mod tests {
     fn minsum_is_reported_consistently() {
         let jobs = online_jobs(WorkloadKind::WeaklyParallel, 20, 8, 11, 5.0);
         let inst = Instance::new(8, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
-        let on = online_batch_schedule(8, &jobs, demt);
+        let on = online_batch_schedule(8, &jobs, &demt());
         let c = Criteria::evaluate(&inst, &on.schedule);
         assert!(c.weighted_completion > 0.0);
         assert!(c.makespan >= jobs.iter().map(|j| j.release).fold(0.0, f64::max));

@@ -1,11 +1,12 @@
-//! Uniform registry of the six algorithms compared in the paper's
-//! figures (DEMT plus the five baselines of §4.1).
+//! The six algorithms compared in the paper's figures (DEMT plus the
+//! five baselines of §4.1), as a serializable enum for CSV/JSON series
+//! bookkeeping. Execution dispatches exclusively through the workspace
+//! [`SchedulerRegistry`](demt_api::SchedulerRegistry)
+//! (`demt_baselines::registry`).
 
-use demt_baselines::{gang, list_saf, list_shelf, list_wlptf, sequential_lptf};
-use demt_core::{demt_schedule, DemtConfig};
-use demt_dual::DualResult;
+use demt_api::{ScheduleReport, Scheduler, SchedulerContext};
+use demt_baselines::registry;
 use demt_model::Instance;
-use demt_platform::Schedule;
 use serde::{Deserialize, Serialize};
 
 /// Algorithms plotted in Figures 3–6.
@@ -60,18 +61,18 @@ impl Algorithm {
         }
     }
 
-    /// Runs the algorithm. The three list baselines reuse the shared
-    /// dual-approximation result; DEMT runs its own internally (its
-    /// wall-clock in Fig. 7 includes that step).
-    pub fn run(self, inst: &Instance, dual: &DualResult, demt_cfg: &DemtConfig) -> Schedule {
-        match self {
-            Algorithm::Demt => demt_schedule(inst, demt_cfg).schedule,
-            Algorithm::Gang => gang(inst),
-            Algorithm::Sequential => sequential_lptf(inst),
-            Algorithm::ListShelf => list_shelf(inst, dual),
-            Algorithm::ListWlptf => list_wlptf(inst, dual),
-            Algorithm::ListSaf => list_saf(inst, dual),
-        }
+    /// The registry entry backing this algorithm.
+    pub fn scheduler(self) -> &'static dyn Scheduler {
+        registry()
+            .by_name(self.name())
+            .expect("every figure algorithm is registered")
+    }
+
+    /// Runs the algorithm through the registry. DEMT and the three list
+    /// baselines share the context's dual-approximation result, so the
+    /// dual runs at most once per instance across a whole sweep cell.
+    pub fn run(self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport {
+        self.scheduler().schedule(inst, ctx)
     }
 }
 
@@ -84,18 +85,18 @@ impl std::fmt::Display for Algorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use demt_dual::{dual_approx, DualConfig};
     use demt_platform::validate;
     use demt_workload::{generate, WorkloadKind};
 
     #[test]
-    fn registry_runs_everything_validly() {
+    fn registry_runs_everything_validly_with_one_dual() {
         let inst = generate(WorkloadKind::Mixed, 30, 8, 2);
-        let dual = dual_approx(&inst, &DualConfig::default());
+        let mut ctx = SchedulerContext::new();
         for alg in Algorithm::ALL {
-            let s = alg.run(&inst, &dual, &DemtConfig::default());
-            validate(&inst, &s).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            let report = alg.run(&inst, &mut ctx);
+            validate(&inst, &report.schedule).unwrap_or_else(|e| panic!("{alg}: {e}"));
         }
+        assert_eq!(ctx.dual_runs(), 1, "one dual per instance across all six");
     }
 
     #[test]
@@ -104,5 +105,14 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn enum_matches_its_registry_entry() {
+        for alg in Algorithm::ALL {
+            let s = alg.scheduler();
+            assert_eq!(s.name(), alg.name());
+            assert_eq!(s.legend(), alg.legend());
+        }
     }
 }

@@ -43,10 +43,9 @@ fn main() {
     );
 
     // On-line: batches of everything released so far, each scheduled by
-    // DEMT ("an arriving job is scheduled in the next starting batch").
-    let online = online_batch_schedule(m, &jobs, |sub| {
-        demt_schedule(sub, &DemtConfig::default()).schedule
-    });
+    // the registry's DEMT entry ("an arriving job is scheduled in the
+    // next starting batch").
+    let online = online_batch_schedule(m, &jobs, registry().by_name("demt").expect("registered"));
     validate_with_releases(&inst, &online.schedule, Some(&releases)).expect("feasible");
 
     println!("\non-line batches:");

@@ -15,21 +15,24 @@
 
 use demt::frontend::{
     moldable_instance, moldable_schedule, queue_schedule, rigid_instance, stream_metrics,
-    submit_stream, QueuePolicy, StreamSpec,
+    submit_stream, ArrivalModel, QueuePolicy, StreamSpec,
 };
 use demt::prelude::*;
 
 fn main() {
     let m = 32;
-    for (label, gap) in [
-        ("relaxed (1 job / 1.2t)", 1.2),
-        ("congested (1 job / 0.3t)", 0.3),
+    for (label, gap, arrivals) in [
+        ("relaxed (1 job / 1.2t)", 1.2, ArrivalModel::Poisson),
+        ("congested (1 job / 0.3t)", 0.3, ArrivalModel::Poisson),
+        ("bursty (Pareto α=1.8)", 0.3, ArrivalModel::Pareto),
     ] {
         let spec = StreamSpec {
             kind: WorkloadKind::Cirne,
             jobs: 80,
             procs: m,
             mean_interarrival: gap,
+            arrivals,
+            pareto_shape: 1.8,
             seed: 4242,
         };
         let jobs = submit_stream(&spec);
@@ -47,11 +50,9 @@ fn main() {
         let easy = queue_schedule(m, &jobs, QueuePolicy::EasyBackfill);
         validate_with_releases(&rigid_inst, &easy, Some(&releases)).expect("easy feasible");
 
-        // Moldable path: on-line DEMT.
+        // Moldable path: on-line DEMT, resolved from the registry.
         let (mold_inst, _) = moldable_instance(m, &jobs);
-        let demt = moldable_schedule(m, &jobs, |i| {
-            demt_schedule(i, &DemtConfig::default()).schedule
-        });
+        let demt = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"));
         validate_with_releases(&mold_inst, &demt, Some(&releases)).expect("demt feasible");
 
         println!(

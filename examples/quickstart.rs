@@ -27,33 +27,29 @@ fn main() {
         bounds.cmax, bounds.minsum
     );
 
-    // DEMT (the paper's algorithm) and the five §4.1 baselines.
-    let demt = demt_schedule(&inst, &DemtConfig::default());
-    assert_valid(&inst, &demt.schedule);
-
-    let dual = dual_approx(&inst, &DualConfig::default());
+    // DEMT (the paper's algorithm) and the five §4.1 baselines, all
+    // resolved from the workspace registry; the shared context computes
+    // the dual approximation once for everyone.
+    let mut ctx = SchedulerContext::new();
     println!(
         "{:<16} {:>10} {:>8} {:>12} {:>8}",
         "algorithm", "Cmax", "ratio", "Σ wᵢCᵢ", "ratio"
     );
-    let report = |name: &str, schedule: &Schedule| {
-        assert_valid(&inst, schedule);
-        let c = Criteria::evaluate(&inst, schedule);
+    for alg in registry().all() {
+        let r = alg.schedule(&inst, &mut ctx);
+        assert_valid(&inst, &r.schedule);
         println!(
             "{:<16} {:>10.2} {:>8.2} {:>12.1} {:>8.2}",
-            name,
-            c.makespan,
-            c.makespan / bounds.cmax,
-            c.weighted_completion,
-            c.weighted_completion / bounds.minsum
+            alg.legend(),
+            r.criteria.makespan,
+            r.criteria.makespan / bounds.cmax,
+            r.criteria.weighted_completion,
+            r.criteria.weighted_completion / bounds.minsum
         );
-    };
-    report("DEMT", &demt.schedule);
-    report("Gang", &gang(&inst));
-    report("Sequential", &sequential_lptf(&inst));
-    report("List [7]", &list_shelf(&inst, &dual));
-    report("LPTF", &list_wlptf(&inst, &dual));
-    report("SAF", &list_saf(&inst, &dual));
+    }
+
+    // The DEMT result struct still exposes the batch-plan diagnostics.
+    let demt = demt_schedule(&inst, &DemtConfig::default());
 
     println!(
         "\nDEMT schedule (each column ≈ {:.2} time units):",

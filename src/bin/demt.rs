@@ -22,6 +22,7 @@ fn main() {
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
         "schedule" => schedule_cmd(&opts),
+        "algorithms" => algorithms_cmd(),
         "validate" => validate_cmd(&opts),
         "bound" => bound_cmd(&opts),
         "gantt" => gantt_cmd(&opts),
@@ -48,6 +49,11 @@ impl Opts {
             .unwrap_or(default)
     }
     fn u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --{key}"))))
+            .unwrap_or(default)
+    }
+    fn f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
             .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --{key}"))))
             .unwrap_or(default)
@@ -102,37 +108,63 @@ fn generate_cmd(opts: &Opts) {
     );
 }
 
+/// `ScheduleReport` minus the schedule itself (that goes to stdout as
+/// the pipeline payload) — the `--metrics json` stderr side channel.
+#[derive(serde::Serialize)]
+struct MetricsOut {
+    algorithm: String,
+    criteria: Criteria,
+    wall_seconds: f64,
+    phases: Vec<PhaseTiming>,
+}
+
 fn schedule_cmd(opts: &Opts) {
     let inst: Instance = read_stdin_json("instance");
-    let alg = opts.get("algorithm").unwrap_or("demt");
-    let schedule = match alg {
-        "demt" => demt_schedule(&inst, &DemtConfig::default()).schedule,
-        "gang" => gang(&inst),
-        "sequential" => sequential_lptf(&inst),
-        "list" | "lptf" | "saf" => {
-            let dual = dual_approx(&inst, &DualConfig::default());
-            match alg {
-                "list" => list_shelf(&inst, &dual),
-                "lptf" => list_wlptf(&inst, &dual),
-                _ => list_saf(&inst, &dual),
-            }
-        }
-        other => die(&format!(
-            "unknown --algorithm {other} (demt|gang|sequential|list|lptf|saf)"
-        )),
+    let name = opts.get("algorithm").unwrap_or("demt");
+    let reg = registry();
+    let Some(alg) = reg.by_name(name) else {
+        die(&format!(
+            "unknown --algorithm {name} ({})",
+            reg.names().join("|")
+        ))
     };
-    validate(&inst, &schedule).unwrap_or_else(|e| die(&format!("internal: invalid schedule: {e}")));
-    let c = Criteria::evaluate(&inst, &schedule);
-    eprintln!(
-        "{alg}: Cmax = {:.4}, ΣwᵢCᵢ = {:.4}, utilization = {:.1}%",
-        c.makespan,
-        c.weighted_completion,
-        c.utilization * 100.0
-    );
+    let mut ctx = SchedulerContext::new();
+    let report = alg.schedule(&inst, &mut ctx);
+    validate(&inst, &report.schedule)
+        .unwrap_or_else(|e| die(&format!("internal: invalid schedule: {e}")));
+    // The report already carries the evaluated criteria; nothing is
+    // evaluated a second time here.
+    match opts.get("metrics").unwrap_or("text") {
+        "text" => {
+            let c = &report.criteria;
+            eprintln!(
+                "{name}: Cmax = {:.4}, ΣwᵢCᵢ = {:.4}, utilization = {:.1}%",
+                c.makespan,
+                c.weighted_completion,
+                c.utilization * 100.0
+            );
+        }
+        "json" => {
+            let out = MetricsOut {
+                algorithm: report.algorithm.clone(),
+                criteria: report.criteria,
+                wall_seconds: report.wall_seconds,
+                phases: report.phases.clone(),
+            };
+            eprintln!("{}", serde_json::to_string(&out).expect("serializable"));
+        }
+        other => die(&format!("bad --metrics {other} (text|json)")),
+    }
     println!(
         "{}",
-        serde_json::to_string_pretty(&schedule).expect("serializable")
+        serde_json::to_string_pretty(&report.schedule).expect("serializable")
     );
+}
+
+fn algorithms_cmd() {
+    for s in registry().all() {
+        println!("{:<12} {}", s.name(), s.legend());
+    }
 }
 
 fn validate_cmd(opts: &Opts) {
@@ -212,10 +244,19 @@ fn frontend_cmd(opts: &Opts) {
             .unwrap_or(WorkloadKind::Cirne),
         jobs: opts.usize("jobs", 60),
         procs: opts.usize("procs", 32),
-        mean_interarrival: opts
-            .get("gap")
-            .map(|v| v.parse().unwrap_or_else(|_| die("bad --gap")))
-            .unwrap_or(0.5),
+        mean_interarrival: opts.f64("gap", 0.5),
+        arrivals: match opts.get("arrivals").unwrap_or("poisson") {
+            "poisson" | "exponential" => ArrivalModel::Poisson,
+            "pareto" => ArrivalModel::Pareto,
+            _ => die("bad --arrivals (poisson|pareto)"),
+        },
+        pareto_shape: {
+            let shape = opts.f64("shape", 2.5);
+            if !(shape > 1.0 && shape.is_finite()) {
+                die("bad --shape (Pareto tail shape must be > 1 for a finite mean)")
+            }
+            shape
+        },
         seed: opts.u64("seed", 0),
     };
     let jobs = submit_stream(&spec);
@@ -225,9 +266,11 @@ fn frontend_cmd(opts: &Opts) {
     );
     let fcfs = queue_schedule(spec.procs, &jobs, QueuePolicy::Fcfs);
     let easy = queue_schedule(spec.procs, &jobs, QueuePolicy::EasyBackfill);
-    let demt_s = moldable_schedule(spec.procs, &jobs, |i| {
-        demt_schedule(i, &DemtConfig::default()).schedule
-    });
+    let demt_s = moldable_schedule(
+        spec.procs,
+        &jobs,
+        registry().by_name("demt").expect("demt registered"),
+    );
     for (name, s) in [
         ("FCFS (rigid)", &fcfs),
         ("EASY backfill (rigid)", &easy),
@@ -282,9 +325,7 @@ fn swf_cmd(opts: &Opts) {
             met.utilization * 100.0
         );
     }
-    let demt_s = moldable_schedule(m, &jobs, |i| {
-        demt_schedule(i, &DemtConfig::default()).schedule
-    });
+    let demt_s = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"));
     let met = stream_metrics(&jobs, &demt_s, m);
     println!(
         "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
@@ -309,9 +350,12 @@ USAGE: demt <COMMAND> [--flag value]...
 COMMANDS
   generate  --kind weakly|highly|mixed|cirne --tasks N --procs M --seed S
             emit a JSON instance on stdout
-  schedule  --algorithm demt|gang|sequential|list|lptf|saf
+  schedule  --algorithm NAME [--metrics text|json]
             read an instance from stdin, emit a JSON schedule on stdout
-            (criteria are printed to stderr)
+            (criteria go to stderr; NAME is any registry entry, see
+            `demt algorithms`)
+  algorithms
+            list the scheduler registry (name and figure legend)
   validate  --instance FILE
             read a schedule from stdin, audit it against the instance
   bound     read an instance from stdin, print both lower bounds as JSON
@@ -320,6 +364,7 @@ COMMANDS
   exact     read a tiny instance (≤ 7 tasks) from stdin, print the true
             optima of both criteria (branch-and-bound oracle)
   frontend  --kind K --jobs N --procs M --gap MEAN --seed S
+            [--arrivals poisson|pareto --shape ALPHA]
             simulate a submission stream under FCFS / EASY / DEMT and
             print the response metrics
   swf       --file TRACE.swf --procs M [--seed S]

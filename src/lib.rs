@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`api`] | `demt-api` | the `Scheduler` trait, shared context, `ScheduleReport`, registry |
 //! | [`model`] | `demt-model` | moldable tasks, instances, canonical queries |
 //! | [`distr`] | `demt-distr` | seeded random variates (Box–Muller, log-uniform) |
 //! | [`workload`] | `demt-workload` | the four SPAA'04 workload families |
@@ -36,19 +37,27 @@
 //! // Cirne–Berman workload model.
 //! let inst = generate(WorkloadKind::Cirne, 30, 16, 42);
 //!
-//! // Schedule with the paper's algorithm…
-//! let result = demt_schedule(&inst, &DemtConfig::default());
-//! assert_valid(&inst, &result.schedule);
+//! // Schedule with the paper's algorithm, resolved from the registry
+//! // (any of "demt", "gang", "sequential", "list", "lptf", "saf").
+//! let mut ctx = SchedulerContext::new();
+//! let demt = registry().by_name("demt").expect("registered");
+//! let report = demt.schedule(&inst, &mut ctx);
+//! assert_valid(&inst, &report.schedule);
 //!
 //! // …and check both criteria against certified lower bounds.
 //! let bounds = instance_bounds(&inst, &BoundConfig::default());
-//! assert!(result.criteria.makespan >= bounds.cmax);
-//! assert!(result.criteria.weighted_completion >= bounds.minsum);
+//! assert!(report.criteria.makespan >= bounds.cmax);
+//! assert!(report.criteria.weighted_completion >= bounds.minsum);
+//!
+//! // The classic free functions remain as thin wrappers:
+//! let result = demt_schedule(&inst, &DemtConfig::default());
+//! assert_eq!(result.schedule, report.schedule);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use demt_api as api;
 pub use demt_baselines as baselines;
 pub use demt_bounds as bounds;
 pub use demt_core as core;
@@ -65,14 +74,23 @@ pub use demt_platform as platform;
 pub use demt_sim as sim;
 pub use demt_workload as workload;
 
-/// One-stop imports for the common workflow: generate → schedule →
-/// validate → bound.
+/// One-stop imports for the common workflow: generate → resolve from
+/// the registry → schedule → validate → bound.
 pub mod prelude {
+    pub use demt_api::{
+        FnScheduler, PhaseTiming, ReportTimer, ScheduleReport, Scheduler, SchedulerContext,
+        SchedulerRegistry,
+    };
     pub use demt_baselines::{
-        gang, list_saf, list_shelf, list_wlptf, run_baseline, sequential_lptf, BaselineKind,
+        gang, list_saf, list_shelf, list_wlptf, registry, run_baseline, sequential_lptf,
+        BaselineKind, GangScheduler, ListSafScheduler, ListShelfScheduler, ListWlptfScheduler,
+        SequentialScheduler,
     };
     pub use demt_bounds::{instance_bounds, minsum_lower_bound, BoundConfig, InstanceBounds};
-    pub use demt_core::{demt_schedule, Compaction, DemtConfig, DemtResult, LocalOrder};
+    pub use demt_core::{
+        demt_schedule, demt_schedule_with_dual, Compaction, DemtConfig, DemtResult, DemtScheduler,
+        LocalOrder,
+    };
     pub use demt_dual::{cmax_lower_bound, dual_approx, DualConfig, DualResult};
     pub use demt_model::{Instance, InstanceBuilder, MoldableTask, TaskId};
     pub use demt_online::{online_batch_schedule, OnlineJob, OnlineResult};

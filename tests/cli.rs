@@ -149,10 +149,134 @@ fn help_lists_all_commands() {
     let out = demt().arg("--help").output().expect("help");
     let text = String::from_utf8_lossy(&out.stdout);
     for cmd in [
-        "generate", "schedule", "validate", "bound", "gantt", "exact", "frontend", "swf",
+        "generate",
+        "schedule",
+        "algorithms",
+        "validate",
+        "bound",
+        "gantt",
+        "exact",
+        "frontend",
+        "swf",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
+}
+
+#[test]
+fn algorithms_command_lists_the_registry() {
+    let out = demt().arg("algorithms").output().expect("algorithms");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["demt", "gang", "sequential", "list", "lptf", "saf"] {
+        assert!(text.contains(name), "registry listing missing {name}");
+    }
+    assert!(text.contains("DEMT") && text.contains("LPTF"), "{text}");
+}
+
+#[test]
+fn unknown_algorithm_error_lists_registry_names() {
+    let out = demt()
+        .args([
+            "generate", "--kind", "mixed", "--tasks", "4", "--procs", "2", "--seed", "1",
+        ])
+        .output()
+        .expect("generate");
+    let mut sched = demt();
+    sched.args(["schedule", "--algorithm", "bogus"]);
+    let (_, stderr, ok) = run_with_stdin(sched, &out.stdout);
+    assert!(!ok, "bogus algorithm must fail");
+    assert!(stderr.contains("unknown --algorithm bogus"), "{stderr}");
+    // The accepted-values list is derived from the registry, so every
+    // registered name must appear in the message.
+    for name in ["demt", "gang", "sequential", "list", "lptf", "saf"] {
+        assert!(
+            stderr.contains(name),
+            "error message missing {name}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn metrics_json_emits_machine_readable_criteria_on_stderr() {
+    let out = demt()
+        .args([
+            "generate", "--kind", "cirne", "--tasks", "10", "--procs", "6", "--seed", "2",
+        ])
+        .output()
+        .expect("generate");
+    let mut sched = demt();
+    sched.args(["schedule", "--algorithm", "lptf", "--metrics", "json"]);
+    let (stdout, stderr, ok) = run_with_stdin(sched, &out.stdout);
+    assert!(ok, "{stderr}");
+    // stdout stays the plain schedule (pipeline compatibility)…
+    let schedule: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert!(schedule["placements"].as_array().is_some());
+    // …while stderr carries the report as one JSON object.
+    let metrics: serde_json::Value = serde_json::from_str(stderr.trim()).unwrap();
+    assert_eq!(metrics["algorithm"].as_str().unwrap(), "lptf");
+    assert!(metrics["criteria"]["makespan"].as_f64().unwrap() > 0.0);
+    assert!(metrics["criteria"]["weighted_completion"].as_f64().unwrap() > 0.0);
+    assert!(metrics["wall_seconds"].as_f64().unwrap() >= 0.0);
+    let phases = metrics["phases"].as_array().unwrap();
+    assert!(
+        phases.iter().any(|p| p["phase"].as_str() == Some("dual")),
+        "lptf report must include the dual phase: {stderr}"
+    );
+}
+
+#[test]
+fn frontend_supports_pareto_arrivals() {
+    let out = demt()
+        .args([
+            "frontend",
+            "--jobs",
+            "14",
+            "--procs",
+            "8",
+            "--gap",
+            "0.5",
+            "--seed",
+            "3",
+            "--arrivals",
+            "pareto",
+            "--shape",
+            "2.0",
+        ])
+        .output()
+        .expect("frontend");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DEMT"), "{text}");
+    assert!(text.contains("FCFS"), "{text}");
+
+    let bad = demt()
+        .args(["frontend", "--jobs", "4", "--arrivals", "lognormal"])
+        .output()
+        .expect("frontend");
+    assert!(!bad.status.success(), "bad arrival model must be rejected");
+
+    // Shapes α ≤ 1 have no finite mean: a clean CLI error, not a panic.
+    let bad_shape = demt()
+        .args([
+            "frontend",
+            "--jobs",
+            "4",
+            "--arrivals",
+            "pareto",
+            "--shape",
+            "1.0",
+        ])
+        .output()
+        .expect("frontend");
+    assert!(!bad_shape.status.success());
+    assert_eq!(bad_shape.status.code(), Some(2), "die(), not a panic");
+    let err = String::from_utf8_lossy(&bad_shape.stderr);
+    assert!(err.contains("bad --shape"), "{err}");
 }
 
 #[test]

@@ -17,27 +17,15 @@ fn jobs_with_releases(kind: WorkloadKind, n: usize, m: usize, seed: u64) -> Vec<
 }
 
 #[test]
-fn online_over_demt_and_baselines() {
+fn online_over_every_registry_entry() {
     let m = 16;
     let jobs = jobs_with_releases(WorkloadKind::Mixed, 40, m, 8);
     let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
     let inst = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
 
-    type Sched = Box<dyn FnMut(&Instance) -> Schedule>;
-    let schedulers: Vec<(&str, Sched)> = vec![
-        (
-            "demt",
-            Box::new(|i: &Instance| demt_schedule(i, &DemtConfig::default()).schedule),
-        ),
-        ("gang", Box::new(|i: &Instance| gang(i))),
-        ("sequential", Box::new(|i: &Instance| sequential_lptf(i))),
-        (
-            "saf",
-            Box::new(|i: &Instance| run_baseline(i, BaselineKind::ListSaf, None)),
-        ),
-    ];
-    for (name, mut f) in schedulers {
-        let result = online_batch_schedule(m, &jobs, &mut f);
+    for scheduler in registry().all() {
+        let result = online_batch_schedule(m, &jobs, scheduler);
+        let name = scheduler.name();
         validate_with_releases(&inst, &result.schedule, Some(&releases))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(result.schedule.len(), jobs.len(), "{name} lost a job");
@@ -51,6 +39,30 @@ fn online_over_demt_and_baselines() {
 }
 
 #[test]
+fn online_wrapper_distinguishes_two_registry_entries() {
+    // Two different registry entries drive the same job stream to
+    // different schedules — the wrapper really dispatches on the trait.
+    let m = 8;
+    let jobs = jobs_with_releases(WorkloadKind::Cirne, 30, m, 21);
+    let releases: Vec<f64> = jobs.iter().map(|j| j.release).collect();
+    let inst = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
+
+    let demt = online_batch_schedule(m, &jobs, registry().by_name("demt").unwrap());
+    let gang = online_batch_schedule(m, &jobs, registry().by_name("gang").unwrap());
+    for (name, r) in [("demt", &demt), ("gang", &gang)] {
+        validate_with_releases(&inst, &r.schedule, Some(&releases))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    assert_ne!(
+        demt.schedule, gang.schedule,
+        "demt and gang batches should differ on a moldable stream"
+    );
+    // Gang serializes every batch on all m processors, so it cannot
+    // beat DEMT's makespan here.
+    assert!(demt.schedule.makespan() <= gang.schedule.makespan() + 1e-9);
+}
+
+#[test]
 fn online_makespan_respects_doubling_bound_for_demt() {
     // §2.2: total length ≤ 2ρ × optimal on-line makespan. Using the
     // certified off-line bound + last release as a proxy for the on-line
@@ -59,9 +71,7 @@ fn online_makespan_respects_doubling_bound_for_demt() {
         let m = 16;
         let jobs = jobs_with_releases(WorkloadKind::Cirne, 50, m, seed);
         let inst = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect()).unwrap();
-        let result = online_batch_schedule(m, &jobs, |i| {
-            demt_schedule(i, &DemtConfig::default()).schedule
-        });
+        let result = online_batch_schedule(m, &jobs, registry().by_name("demt").unwrap());
         let proxy_opt =
             cmax_lower_bound(&inst, 1e-3).max(jobs.iter().map(|j| j.release).fold(0.0, f64::max));
         let ratio = result.schedule.makespan() / proxy_opt;
@@ -82,9 +92,7 @@ fn staggered_releases_produce_multiple_batches() {
             release: i as f64 * 0.8,
         })
         .collect();
-    let result = online_batch_schedule(m, &jobs, |i| {
-        demt_schedule(i, &DemtConfig::default()).schedule
-    });
+    let result = online_batch_schedule(m, &jobs, registry().by_name("demt").unwrap());
     assert!(
         result.batches.len() >= 3,
         "expected several batches, got {}",

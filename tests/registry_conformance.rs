@@ -1,0 +1,129 @@
+//! Registry conformance: every registered scheduler × every workload
+//! family must produce a valid schedule, report criteria identical to a
+//! fresh `Criteria::evaluate`, and round-trip through `by_name`; the
+//! shared context must run the dual approximation at most once per
+//! instance no matter how many schedulers consume it.
+
+use demt::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn every_scheduler_conforms_on_every_workload() {
+    for kind in WorkloadKind::ALL {
+        let inst = generate(kind, 25, 8, 7);
+        let mut ctx = SchedulerContext::new();
+        for s in registry().all() {
+            let report = s.schedule(&inst, &mut ctx);
+
+            // Valid schedule.
+            validate(&inst, &report.schedule)
+                .unwrap_or_else(|e| panic!("{kind}/{}: {e}", s.name()));
+
+            // Report criteria match an independent evaluation.
+            let fresh = Criteria::evaluate(&inst, &report.schedule);
+            assert!(
+                close(report.criteria.makespan, fresh.makespan)
+                    && close(
+                        report.criteria.weighted_completion,
+                        fresh.weighted_completion
+                    )
+                    && close(report.criteria.utilization, fresh.utilization),
+                "{kind}/{}: report criteria {:?} diverge from evaluation {:?}",
+                s.name(),
+                report.criteria,
+                fresh
+            );
+
+            // Identity round-trips.
+            assert_eq!(report.algorithm, s.name());
+            let round = registry()
+                .by_name(s.name())
+                .unwrap_or_else(|| panic!("{}: by_name round-trip failed", s.name()));
+            assert_eq!(round.name(), s.name());
+            assert_eq!(round.legend(), s.legend());
+
+            // Diagnostics are sane.
+            assert!(report.wall_seconds >= 0.0);
+            assert!(report.phases.iter().all(|p| p.seconds >= 0.0));
+        }
+        // The headline contract of the shared context: one dual
+        // approximation per instance across all six schedulers.
+        assert_eq!(
+            ctx.dual_runs(),
+            1,
+            "{kind}: dual_approx must run at most once per instance"
+        );
+    }
+}
+
+#[test]
+fn registry_names_and_legends_are_unique() {
+    let mut names = registry().names();
+    assert!(!names.is_empty());
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), registry().len(), "duplicate registry names");
+
+    let mut legends: Vec<&str> = registry().all().map(|s| s.legend()).collect();
+    legends.sort_unstable();
+    legends.dedup();
+    assert_eq!(legends.len(), registry().len(), "duplicate legends");
+}
+
+#[test]
+fn context_counts_one_dual_per_distinct_instance() {
+    let a = generate(WorkloadKind::Mixed, 15, 8, 1);
+    let b = generate(WorkloadKind::Mixed, 15, 8, 2);
+    let mut ctx = SchedulerContext::new();
+    let demt = registry().by_name("demt").unwrap();
+    let lptf = registry().by_name("lptf").unwrap();
+    demt.schedule(&a, &mut ctx);
+    lptf.schedule(&a, &mut ctx);
+    assert_eq!(ctx.dual_runs(), 1);
+    demt.schedule(&b, &mut ctx);
+    lptf.schedule(&b, &mut ctx);
+    assert_eq!(ctx.dual_runs(), 2, "a new instance is one more dual run");
+}
+
+#[test]
+fn dual_free_schedulers_never_touch_the_dual() {
+    let inst = generate(WorkloadKind::Cirne, 20, 8, 3);
+    let mut ctx = SchedulerContext::new();
+    registry()
+        .by_name("gang")
+        .unwrap()
+        .schedule(&inst, &mut ctx);
+    registry()
+        .by_name("sequential")
+        .unwrap()
+        .schedule(&inst, &mut ctx);
+    assert_eq!(ctx.dual_runs(), 0);
+}
+
+#[test]
+fn adapters_agree_with_the_original_free_functions() {
+    // The adapters are thin wrappers: same schedules as the historical
+    // entry points, so the original unit suites keep their meaning.
+    let inst = generate(WorkloadKind::HighlyParallel, 30, 12, 9);
+    let dual = dual_approx(&inst, &DualConfig::default());
+    let mut ctx = SchedulerContext::new();
+    let mut by = |name: &str| {
+        registry()
+            .by_name(name)
+            .unwrap()
+            .schedule(&inst, &mut ctx)
+            .schedule
+    };
+    assert_eq!(
+        by("demt"),
+        demt_schedule(&inst, &DemtConfig::default()).schedule
+    );
+    assert_eq!(by("gang"), gang(&inst));
+    assert_eq!(by("sequential"), sequential_lptf(&inst));
+    assert_eq!(by("list"), list_shelf(&inst, &dual));
+    assert_eq!(by("lptf"), list_wlptf(&inst, &dual));
+    assert_eq!(by("saf"), list_saf(&inst, &dual));
+}

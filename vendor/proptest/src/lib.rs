@@ -198,7 +198,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec`](fn@vec).
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -228,7 +228,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec`](fn@vec).
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
