@@ -1,0 +1,91 @@
+//! Executor benches: `demt-exec`'s work-stealing `par_map` against the
+//! harness's previous fan-out (an atomic-counter work queue over scoped
+//! threads) on a synthetic sweep with skewed cell costs — the shape of
+//! the real `(figure, point, run)` grid, where large-`n` cells dominate
+//! the tail. Tracks the perf trajectory of the pool itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_exec::Pool;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Deterministic busy work standing in for one experiment cell.
+fn cell_cost(iters: u64) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..iters {
+        acc += black_box((i as f64 * 1e-3).sin());
+    }
+    acc
+}
+
+/// Skewed synthetic sweep: every eighth cell is ~20× heavier, like the
+/// large-`n` points of a figure grid.
+fn synthetic_cells(n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| if i % 8 == 0 { 20_000 } else { 1_000 })
+        .collect()
+}
+
+/// The harness's previous scheme (pre-`demt-exec`): a flat atomic
+/// counter as the work queue over `workers` scoped threads.
+fn atomic_counter_loop(cells: &[u64], workers: usize) -> Vec<f64> {
+    let results: Vec<std::sync::Mutex<f64>> =
+        cells.iter().map(|_| std::sync::Mutex::new(0.0)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let results = &results;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                *results[i].lock().unwrap() = cell_cost(cells[i]);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect()
+}
+
+fn exec_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_sweep");
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    for n in [64usize, 256] {
+        let cells = synthetic_cells(n);
+        group.bench_with_input(
+            BenchmarkId::new("atomic_counter_loop", n),
+            &cells,
+            |b, cells| b.iter(|| black_box(atomic_counter_loop(cells, workers))),
+        );
+        let pool = Pool::new(workers);
+        group.bench_with_input(BenchmarkId::new("pool_par_map", n), &cells, |b, cells| {
+            b.iter(|| black_box(pool.par_map(cells, |_, &iters| cell_cost(iters))))
+        });
+    }
+    group.finish();
+}
+
+fn exec_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_reduce");
+    let pool = Pool::new(
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    );
+    let cells = synthetic_cells(128);
+    group.bench_function(BenchmarkId::from_parameter("par_map_reduce_128"), |b| {
+        b.iter(|| {
+            black_box(pool.par_map_reduce(&cells, 0.0f64, |_, &it| cell_cost(it), |a, r| a + r))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, exec_sweep, exec_reduce);
+criterion_main!(benches);

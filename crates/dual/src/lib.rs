@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 mod feasibility;
+mod memo;
 mod shelves;
 
 pub use feasibility::{
     check_lambda, lambda_feasible, trivial_lower_bound, trivially_feasible_lambda, Rejection,
 };
+pub use memo::CanonicalAllotments;
 pub use shelves::{build_shelves, ShelfBuild, ShelfClass};
 
 use demt_kernels::bisect_threshold;
@@ -80,9 +82,14 @@ pub struct DualResult {
 /// ```
 pub fn dual_approx(inst: &Instance, cfg: &DualConfig) -> DualResult {
     assert!(!inst.is_empty(), "dual approximation of an empty instance");
+    // The canonical allotments are memoized once and shared by every
+    // bisection iteration: the predicate then costs O(n log m) per λ
+    // guess instead of the naive O(n·m) re-scan, with bit-identical
+    // accept/reject decisions (see `memo` tests).
+    let memo = CanonicalAllotments::new(inst);
     let lo = trivial_lower_bound(inst);
     let hi = trivially_feasible_lambda(inst).max(lo);
-    let th = bisect_threshold(lo, hi, cfg.rel_eps, |lambda| lambda_feasible(inst, lambda));
+    let th = bisect_threshold(lo, hi, cfg.rel_eps, |lambda| memo.lambda_feasible(lambda));
     let build = build_shelves(inst, th.accepted);
     let cmax_estimate = build.schedule.makespan();
     DualResult {
@@ -100,9 +107,10 @@ pub fn dual_approx(inst: &Instance, cfg: &DualConfig) -> DualResult {
 /// schedule construction).
 pub fn cmax_lower_bound(inst: &Instance, rel_eps: f64) -> f64 {
     assert!(!inst.is_empty());
+    let memo = CanonicalAllotments::new(inst);
     let lo = trivial_lower_bound(inst);
     let hi = trivially_feasible_lambda(inst).max(lo);
-    let th = bisect_threshold(lo, hi, rel_eps, |lambda| lambda_feasible(inst, lambda));
+    let th = bisect_threshold(lo, hi, rel_eps, |lambda| memo.lambda_feasible(lambda));
     th.rejected.max(lo)
 }
 
@@ -186,6 +194,24 @@ mod tests {
                     assert!(k >= 1 && k <= inst.procs());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn memoized_bisection_matches_naive_end_to_end() {
+        // dual_approx drives the bisection through the allotment memo;
+        // replaying it with the naive predicate must land on the exact
+        // same threshold (bit-for-bit), for every workload family.
+        for kind in WorkloadKind::ALL {
+            let inst = generate(kind, 35, 16, 9);
+            let full = dual_approx(&inst, &DualConfig::default());
+            let lo = trivial_lower_bound(&inst);
+            let hi = trivially_feasible_lambda(&inst).max(lo);
+            let th = demt_kernels::bisect_threshold(lo, hi, DualConfig::default().rel_eps, |l| {
+                lambda_feasible(&inst, l)
+            });
+            assert_eq!(full.lower_bound.to_bits(), th.rejected.max(lo).to_bits());
+            assert_eq!(full.lambda.to_bits(), th.accepted.to_bits());
         }
     }
 

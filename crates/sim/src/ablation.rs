@@ -6,6 +6,7 @@
 use crate::experiment::ExperimentConfig;
 use demt_bounds::{instance_bounds, BoundConfig};
 use demt_core::{demt_schedule, Compaction, DemtConfig};
+use demt_exec::Pool;
 use demt_platform::Criteria;
 use demt_workload::{generate, WorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -65,29 +66,65 @@ pub struct AblationRow {
     pub cmax_ratio: f64,
 }
 
-/// Runs the ablation on the mid-size point of the sweep, all families.
-pub fn run_ablation(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+/// Per-cell output of the parallel ablation: one `(kind, run)` instance
+/// measured under every variant, sharing one bounds computation.
+struct AblationCell {
+    /// `(weighted_completion, makespan)` per variant, in variant order.
+    per_variant: Vec<(f64, f64)>,
+    /// `(minsum, cmax)` lower bounds of the instance.
+    bounds: (f64, f64),
+}
+
+/// Runs the ablation on the mid-size point of the sweep, all families,
+/// parallelized cell-wise on the given pool. Each `(kind, run)` cell
+/// generates its instance and bounds **once** and measures all variants
+/// against them (the sequential driver recomputed the bounds per
+/// variant — same values, 6× the work). The reduction is index-ordered,
+/// so the rows are byte-identical for any pool size.
+pub fn run_ablation_on(pool: &Pool, cfg: &ExperimentConfig) -> Vec<AblationRow> {
     let n = *cfg
         .task_counts
         .get(cfg.task_counts.len() / 2)
         .unwrap_or(&100);
-    let mut rows = Vec::new();
+    let variants = ablation_variants();
+    let mut cells: Vec<(WorkloadKind, usize)> = Vec::new();
     for kind in WorkloadKind::ALL {
-        for (name, demt_cfg) in ablation_variants() {
+        for run in 0..cfg.runs {
+            cells.push((kind, run));
+        }
+    }
+    let outs: Vec<AblationCell> = pool.par_map(&cells, |_, &(kind, run)| {
+        let seed = cfg.seed_base ^ ((run as u64) << 8) ^ kind.figure() as u64;
+        let inst = generate(kind, n, cfg.procs, seed);
+        let bounds = instance_bounds(&inst, &BoundConfig::default());
+        let per_variant = variants
+            .iter()
+            .map(|(_, demt_cfg)| {
+                let r = demt_schedule(&inst, demt_cfg);
+                let c = Criteria::evaluate(&inst, &r.schedule);
+                (c.weighted_completion, c.makespan)
+            })
+            .collect();
+        AblationCell {
+            per_variant,
+            bounds: (bounds.minsum, bounds.cmax),
+        }
+    });
+
+    let mut rows = Vec::new();
+    for (ki, kind) in WorkloadKind::ALL.iter().enumerate() {
+        for (vi, (name, _)) in variants.iter().enumerate() {
             let mut sum_wici = 0.0;
             let mut sum_wici_lb = 0.0;
             let mut sum_cmax = 0.0;
             let mut sum_cmax_lb = 0.0;
             for run in 0..cfg.runs {
-                let seed = cfg.seed_base ^ ((run as u64) << 8) ^ kind.figure() as u64;
-                let inst = generate(kind, n, cfg.procs, seed);
-                let bounds = instance_bounds(&inst, &BoundConfig::default());
-                let r = demt_schedule(&inst, &demt_cfg);
-                let c = Criteria::evaluate(&inst, &r.schedule);
-                sum_wici += c.weighted_completion;
-                sum_wici_lb += bounds.minsum;
-                sum_cmax += c.makespan;
-                sum_cmax_lb += bounds.cmax;
+                let cell = &outs[ki * cfg.runs + run];
+                let (wici, cmax) = cell.per_variant[vi];
+                sum_wici += wici;
+                sum_wici_lb += cell.bounds.0;
+                sum_cmax += cmax;
+                sum_cmax_lb += cell.bounds.1;
             }
             rows.push(AblationRow {
                 workload: kind.name().to_string(),
@@ -98,6 +135,11 @@ pub fn run_ablation(cfg: &ExperimentConfig) -> Vec<AblationRow> {
         }
     }
     rows
+}
+
+/// Runs the ablation on a private pool of `cfg.workers` workers.
+pub fn run_ablation(cfg: &ExperimentConfig) -> Vec<AblationRow> {
+    run_ablation_on(&Pool::new(cfg.workers), cfg)
 }
 
 /// CSV rendering of the ablation rows.
@@ -140,6 +182,18 @@ mod tests {
                 "{kind}: pipeline worse than raw"
             );
         }
+    }
+
+    #[test]
+    fn ablation_rows_are_byte_identical_across_worker_counts() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![14];
+        cfg.runs = 2;
+        let rows_for = |workers: usize| {
+            serde_json::to_string(&run_ablation_on(&Pool::new(workers), &cfg)).unwrap()
+        };
+        let reference = rows_for(1);
+        assert_eq!(rows_for(4), reference);
     }
 
     #[test]

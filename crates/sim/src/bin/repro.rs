@@ -1,213 +1,9 @@
 //! `repro` — regenerates the SPAA'04 evaluation figures.
 //!
-//! ```text
-//! repro [fig3] [fig4] [fig5] [fig6] [fig7] [ablation] [all]
-//!       [--runs N] [--procs M] [--tasks 25,50,...] [--out DIR]
-//!       [--workers W] [--paper] [--quick]
-//! ```
-//!
-//! Defaults: all figures, 200 processors, n ∈ {25..400}, 8 runs/point
-//! (use `--paper` for the paper's 40 runs — slow on small machines).
-//! CSV series land in `--out` (default `results/`).
-
-use demt_sim::{
-    ascii_plot, figure_csv, ratio_table, run_figure, run_timing, timing_csv, ExperimentConfig,
-};
-use demt_workload::WorkloadKind;
-use std::collections::BTreeSet;
-use std::path::PathBuf;
+//! Thin wrapper over [`demt_sim::repro_cli`], which the `demt repro`
+//! subcommand shares; see `repro --help` for the flag reference.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        print!("{}", HELP);
-        return;
-    }
-    let mut cfg = ExperimentConfig::paper();
-    cfg.runs = 8; // default budget; --paper restores 40
-    let mut out = PathBuf::from("results");
-    let mut figures: BTreeSet<String> = BTreeSet::new();
-
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "ablation" | "verify" => {
-                figures.insert(a.clone());
-            }
-            "all" => {
-                for f in ["fig3", "fig4", "fig5", "fig6", "fig7", "ablation"] {
-                    figures.insert(f.to_string());
-                }
-            }
-            "--paper" => cfg.runs = 40,
-            "--quick" => {
-                let q = ExperimentConfig::quick();
-                cfg.procs = q.procs;
-                cfg.task_counts = q.task_counts;
-                cfg.runs = q.runs;
-            }
-            "--runs" => cfg.runs = req_usize(&mut it, "--runs"),
-            "--procs" => cfg.procs = req_usize(&mut it, "--procs"),
-            "--workers" => cfg.workers = req_usize(&mut it, "--workers"),
-            "--tasks" => {
-                let v = it.next().unwrap_or_else(|| die("--tasks needs a list"));
-                cfg.task_counts = v
-                    .split(',')
-                    .map(|x| {
-                        x.trim()
-                            .parse()
-                            .unwrap_or_else(|_| die("bad --tasks entry"))
-                    })
-                    .collect();
-            }
-            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a dir"))),
-            other => die(&format!("unknown argument {other} (try --help)")),
-        }
-    }
-    if figures.is_empty() {
-        for f in ["fig3", "fig4", "fig5", "fig6", "fig7", "ablation"] {
-            figures.insert(f.to_string());
-        }
-    }
-    std::fs::create_dir_all(&out).expect("create output directory");
-    eprintln!(
-        "repro: m={}, n={:?}, {} runs/point, {} workers → {}",
-        cfg.procs,
-        cfg.task_counts,
-        cfg.runs,
-        cfg.workers,
-        out.display()
-    );
-
-    let verify = figures.contains("verify");
-    let mut all_claims_pass = true;
-    for kind in WorkloadKind::ALL {
-        let figname = format!("fig{}", kind.figure());
-        if !figures.contains(&figname) && !verify {
-            continue;
-        }
-        let fig = run_figure(&cfg, kind, |msg| eprintln!("  {msg}"));
-        if figures.contains(&figname) {
-            let csv = figure_csv(&fig);
-            let path = out.join(format!("{figname}_{}.csv", kind.name()));
-            std::fs::write(&path, &csv).expect("write csv");
-            println!("{}", ratio_table(&fig, "wici"));
-            println!("{}", ascii_plot(&fig, "wici", 8.0));
-            println!("{}", ratio_table(&fig, "cmax"));
-            println!("{}", ascii_plot(&fig, "cmax", 3.5));
-            println!("wrote {}\n", path.display());
-        }
-        if verify {
-            let claims = demt_sim::check_figure(&fig);
-            let (table, ok) = demt_sim::render_claims(&claims);
-            println!(
-                "Figure {} ({}) claims:\n{table}",
-                kind.figure(),
-                kind.name()
-            );
-            all_claims_pass &= ok;
-        }
-    }
-    if verify {
-        if all_claims_pass {
-            println!("VERIFY: all paper claims reproduced ✔");
-        } else {
-            println!("VERIFY: some claims FAILED ✘");
-            std::process::exit(1);
-        }
-    }
-
-    if figures.contains("fig7") {
-        let mut series = Vec::new();
-        for kind in [
-            WorkloadKind::WeaklyParallel,
-            WorkloadKind::Cirne,
-            WorkloadKind::HighlyParallel,
-        ] {
-            let t = run_timing(&cfg, kind, |msg| eprintln!("  {msg}"));
-            series.push((kind.name().to_string(), t));
-        }
-        let csv = timing_csv(&series);
-        let path = out.join("fig7_timing.csv");
-        std::fs::write(&path, &csv).expect("write csv");
-        println!("Figure 7 — DEMT scheduling time (seconds per schedule)");
-        println!(
-            "{:>6} {:>12} {:>12} {:>12}",
-            "n", "weakly", "cirne", "highly"
-        );
-        for (i, &(n, _)) in series[0].1.iter().enumerate() {
-            println!(
-                "{:>6} {:>12.4} {:>12.4} {:>12.4}",
-                n, series[0].1[i].1, series[1].1[i].1, series[2].1[i].1
-            );
-        }
-        println!("wrote {}\n", path.display());
-    }
-
-    if figures.contains("ablation") {
-        run_ablation(&cfg, &out);
-    }
+    std::process::exit(demt_sim::repro_cli(&args));
 }
-
-/// Ablation of DEMT's design choices (DESIGN.md experiment index):
-/// merging on/off × compaction depth × shuffle count, on a mid-size
-/// point of each workload family. Logic lives in `demt_sim::run_ablation`.
-fn run_ablation(cfg: &ExperimentConfig, out: &std::path::Path) {
-    let n = *cfg
-        .task_counts
-        .get(cfg.task_counts.len() / 2)
-        .unwrap_or(&100);
-    println!("Ablation at n={n}, m={} ({} runs):", cfg.procs, cfg.runs);
-    println!(
-        "{:>10} {:>20} {:>12} {:>12}",
-        "workload", "variant", "wici", "cmax"
-    );
-    let rows = demt_sim::run_ablation(cfg);
-    for r in &rows {
-        println!(
-            "{:>10} {:>20} {:>12.3} {:>12.3}",
-            r.workload, r.variant, r.wici_ratio, r.cmax_ratio
-        );
-    }
-    let path = out.join("ablation.csv");
-    std::fs::write(&path, demt_sim::ablation_csv(&rows)).expect("write csv");
-    println!("wrote {}\n", path.display());
-}
-
-fn req_usize(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str) -> usize {
-    it.next()
-        .unwrap_or_else(|| die(&format!("{flag} needs a value")))
-        .parse()
-        .unwrap_or_else(|_| die(&format!("{flag} needs an integer")))
-}
-
-fn die(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
-    std::process::exit(2)
-}
-
-const HELP: &str = "\
-repro — regenerate the SPAA'04 figures (Dutot et al., bi-criteria scheduling)
-
-USAGE: repro [FIGURES] [OPTIONS]
-
-FIGURES (default: all)
-  fig3       weakly parallel workload, both ratio panels
-  fig4       highly parallel workload
-  fig5       mixed workload
-  fig6       Cirne-Berman workload
-  fig7       DEMT scheduling time
-  ablation   DEMT design-choice ablation table
-  verify     run all four quality sweeps and check every §4.2 claim of
-             the paper as an executable assertion (exit 1 on failure)
-  all        everything above except verify
-
-OPTIONS
-  --runs N        runs per point (default 8; the paper used 40)
-  --paper         use the paper's 40 runs/point
-  --quick         tiny smoke sweep (m=32, n∈{10,20,40}, 2 runs)
-  --procs M       cluster size (default 200)
-  --tasks LIST    comma-separated task counts (default 25,...,400)
-  --workers W     worker threads (default: available cores)
-  --out DIR       output directory for CSV series (default results/)
-";

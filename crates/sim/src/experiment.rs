@@ -1,18 +1,25 @@
 //! Experiment runner: sweeps task counts, runs every algorithm against
 //! the lower bounds, and aggregates the paper's ratio statistics.
 //!
-//! Runs are independent, so the runner distributes them over scoped
-//! worker threads (an atomic counter as the work queue); on a
-//! single-core host it degrades to the sequential path.
+//! Every `(figure, point, run)` triple is an independent **cell**. The
+//! runner flattens the whole requested sweep — all figures, all points
+//! — into one cell list and executes it on a `demt-exec` work-stealing
+//! pool, so large-`n` cells from one figure overlap with another
+//! figure's tail instead of leaving cores idle between points. Results
+//! are reduced **in cell order** (figure-major, then point, then run),
+//! which makes the aggregated output byte-identical for any worker
+//! count — including the sequential `workers = 1` path.
 
 use crate::algorithms::Algorithm;
 use crate::stats::RatioAccum;
 use demt_api::{Scheduler, SchedulerContext};
 use demt_bounds::{minsum_lower_bound_with_horizon, squashed_minsum_bound, BoundConfig};
 use demt_core::DemtConfig;
+use demt_exec::Pool;
 use demt_platform::validate;
 use demt_workload::{generate, WorkloadKind};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Sweep configuration. [`ExperimentConfig::paper`] reproduces the
@@ -35,11 +42,17 @@ pub struct ExperimentConfig {
     pub demt: DemtConfig,
     /// Lower-bound configuration.
     pub bound: BoundConfig,
-    /// Worker threads (1 = sequential).
+    /// Worker threads (1 = sequential). Used by the convenience entry
+    /// points that build their own pool; the `*_on` variants take the
+    /// pool explicitly and ignore this field.
     pub workers: usize,
     /// Re-validate every schedule against the instance (cheap insurance;
     /// on by default).
     pub validate_schedules: bool,
+    /// Record per-run scheduling wall-clock in the series (on by
+    /// default). Switch off for byte-exact reproducibility checks —
+    /// timing is the one measurement that can never be deterministic.
+    pub record_wall: bool,
 }
 
 impl ExperimentConfig {
@@ -56,6 +69,7 @@ impl ExperimentConfig {
                 .map(|p| p.get())
                 .unwrap_or(1),
             validate_schedules: true,
+            record_wall: true,
         }
     }
 
@@ -142,7 +156,9 @@ fn run_seed(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize, run: usize) ->
     h ^ (run as u64).wrapping_mul(0x94D0_49BB_1331_11EB)
 }
 
-/// Executes one `(kind, n, run)` cell and folds it into `accum`.
+/// Executes one `(kind, n, run)` cell and returns its per-run series
+/// (one single-run [`AlgSeries`] per algorithm, in [`Algorithm::ALL`]
+/// order).
 ///
 /// One [`SchedulerContext`] serves both the bounds and all six
 /// algorithms: the dual approximation runs exactly once per instance.
@@ -150,13 +166,7 @@ fn run_seed(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize, run: usize) ->
 /// timed run (so its wall-clock includes that step, as in the paper's
 /// Fig. 7 accounting), then the list baselines and the bounds reuse the
 /// cached result.
-fn one_run(
-    cfg: &ExperimentConfig,
-    kind: WorkloadKind,
-    n: usize,
-    run: usize,
-    accum: &mut [AlgSeries],
-) {
+fn one_run(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize, run: usize) -> Vec<AlgSeries> {
     let seed = run_seed(cfg, kind, n, run);
     let inst = generate(kind, n, cfg.procs, seed);
     let mut ctx = SchedulerContext::with_dual_config(cfg.bound.dual);
@@ -188,84 +198,166 @@ fn one_run(
         .max(squashed_minsum_bound(&inst));
     debug_assert_eq!(ctx.dual_runs(), 1, "dual must run once per instance");
 
-    for (series, (criteria, wall)) in accum.iter_mut().zip(cells) {
+    let mut out = vec![AlgSeries::default(); Algorithm::ALL.len()];
+    for (series, (criteria, wall)) in out.iter_mut().zip(cells) {
         series
             .minsum
             .push(criteria.weighted_completion, minsum_bound);
         series.cmax.push(criteria.makespan, cmax_bound);
-        series.wall_seconds += wall;
+        series.wall_seconds += if cfg.record_wall { wall } else { 0.0 };
+    }
+    out
+}
+
+/// One flattened sweep cell: a single `(figure, point, run)` triple.
+struct SweepCell {
+    kind: WorkloadKind,
+    n: usize,
+    run: usize,
+    /// Global point index (figure-major) for progress accounting.
+    point: usize,
+}
+
+/// Merges per-run series into the point accumulator, in run order.
+fn fold_runs(merged: &mut [AlgSeries], per_run: &[AlgSeries]) {
+    for (m, s) in merged.iter_mut().zip(per_run) {
+        m.merge(s);
     }
 }
 
-/// Runs one sweep point, parallelizing over runs.
-pub fn run_point(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize) -> PointResult {
-    let workers = cfg.workers.max(1).min(cfg.runs.max(1));
-    let mut merged: Vec<AlgSeries> = vec![AlgSeries::default(); Algorithm::ALL.len()];
-    if workers <= 1 {
-        for run in 0..cfg.runs {
-            one_run(cfg, kind, n, run, &mut merged);
-        }
-    } else {
-        let next_run = std::sync::atomic::AtomicUsize::new(0);
-        let partials: Vec<Vec<AlgSeries>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next_run = &next_run;
-                    scope.spawn(move || {
-                        let mut local = vec![AlgSeries::default(); Algorithm::ALL.len()];
-                        loop {
-                            let run = next_run.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if run >= cfg.runs {
-                                break;
-                            }
-                            one_run(cfg, kind, n, run, &mut local);
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        for p in partials {
-            for (m, s) in merged.iter_mut().zip(&p) {
-                m.merge(s);
+/// Runs the full sweep of every requested figure as **one** cell list
+/// on the given pool — figure- and point-level sharding, not run-level:
+/// all `kinds × task_counts × runs` cells compete for the same workers,
+/// so skewed cell costs (large `n`) are balanced by stealing instead of
+/// serializing at every point boundary.
+///
+/// `progress` is called from worker threads (hence `Sync`) once per
+/// completed point. The returned figures are in `kinds` order and the
+/// reduction is index-ordered, so the output is byte-identical for any
+/// pool size.
+pub fn run_figures_on<P: Fn(&str) + Sync>(
+    pool: &Pool,
+    cfg: &ExperimentConfig,
+    kinds: &[WorkloadKind],
+    progress: &P,
+) -> Vec<FigureResult> {
+    let points_per_fig = cfg.task_counts.len();
+    let mut cells = Vec::with_capacity(kinds.len() * points_per_fig * cfg.runs);
+    for (ki, &kind) in kinds.iter().enumerate() {
+        for (pi, &n) in cfg.task_counts.iter().enumerate() {
+            for run in 0..cfg.runs {
+                cells.push(SweepCell {
+                    kind,
+                    n,
+                    run,
+                    point: ki * points_per_fig + pi,
+                });
             }
         }
     }
+
+    let t0 = Instant::now();
+    let done_in_point: Vec<AtomicUsize> = (0..kinds.len() * points_per_fig)
+        .map(|_| AtomicUsize::new(0))
+        .collect();
+    let cells_done = AtomicUsize::new(0);
+    let total = cells.len();
+
+    let results: Vec<Vec<AlgSeries>> = pool.par_map(&cells, |_, cell| {
+        let series = one_run(cfg, cell.kind, cell.n, cell.run);
+        let in_point = done_in_point[cell.point].fetch_add(1, Ordering::Relaxed) + 1;
+        let overall = cells_done.fetch_add(1, Ordering::Relaxed) + 1;
+        if in_point == cfg.runs {
+            progress(&format!(
+                "fig{} [{}] n={}: {} runs done ({overall}/{total} cells, t+{:.1}s)",
+                cell.kind.figure(),
+                cell.kind.name(),
+                cell.n,
+                cfg.runs,
+                t0.elapsed().as_secs_f64()
+            ));
+        }
+        series
+    });
+
+    // Index-ordered reduction: cells (and thus `results`) are ordered
+    // figure-major → point → run, exactly the sequential fold order.
+    let mut figures = Vec::with_capacity(kinds.len());
+    let mut it = results.iter();
+    for &kind in kinds {
+        let mut points = Vec::with_capacity(points_per_fig);
+        for &n in &cfg.task_counts {
+            let mut merged = vec![AlgSeries::default(); Algorithm::ALL.len()];
+            for _ in 0..cfg.runs {
+                fold_runs(&mut merged, it.next().expect("one result per cell"));
+            }
+            points.push(PointResult {
+                tasks: n,
+                series: Algorithm::ALL.iter().copied().zip(merged).collect(),
+            });
+        }
+        figures.push(FigureResult {
+            kind,
+            procs: cfg.procs,
+            runs: cfg.runs,
+            points,
+        });
+    }
+    figures
+}
+
+/// Runs one sweep point on the given pool, parallelizing over runs.
+pub fn run_point_on(
+    pool: &Pool,
+    cfg: &ExperimentConfig,
+    kind: WorkloadKind,
+    n: usize,
+) -> PointResult {
+    let runs: Vec<usize> = (0..cfg.runs).collect();
+    let merged = pool.par_map_reduce(
+        &runs,
+        vec![AlgSeries::default(); Algorithm::ALL.len()],
+        |_, &run| one_run(cfg, kind, n, run),
+        |mut acc, per_run| {
+            fold_runs(&mut acc, &per_run);
+            acc
+        },
+    );
     PointResult {
         tasks: n,
         series: Algorithm::ALL.iter().copied().zip(merged).collect(),
     }
 }
 
-/// Runs a full figure sweep, reporting progress through `progress`.
+/// Runs one sweep point on a private pool of `cfg.workers` workers.
+pub fn run_point(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize) -> PointResult {
+    run_point_on(&Pool::new(cfg.workers), cfg, kind, n)
+}
+
+/// Runs a full figure sweep on the given pool, reporting progress
+/// through `progress` (serialized through a mutex, so a plain `FnMut`
+/// suffices).
+pub fn run_figure_on(
+    pool: &Pool,
+    cfg: &ExperimentConfig,
+    kind: WorkloadKind,
+    progress: impl FnMut(&str) + Send,
+) -> FigureResult {
+    let progress = std::sync::Mutex::new(progress);
+    let mut figs = run_figures_on(pool, cfg, &[kind], &|msg: &str| {
+        let mut p = progress.lock().unwrap_or_else(|e| e.into_inner());
+        (*p)(msg);
+    });
+    figs.pop().expect("one kind in, one figure out")
+}
+
+/// Runs a full figure sweep on a private pool of `cfg.workers` workers.
 pub fn run_figure(
     cfg: &ExperimentConfig,
     kind: WorkloadKind,
-    mut progress: impl FnMut(&str),
+    progress: impl FnMut(&str) + Send,
 ) -> FigureResult {
-    let mut points = Vec::with_capacity(cfg.task_counts.len());
-    for &n in &cfg.task_counts {
-        let t0 = Instant::now();
-        let point = run_point(cfg, kind, n);
-        progress(&format!(
-            "fig{} [{}] n={n}: {} runs in {:.1}s",
-            kind.figure(),
-            kind.name(),
-            cfg.runs,
-            t0.elapsed().as_secs_f64()
-        ));
-        points.push(point);
-    }
-    FigureResult {
-        kind,
-        procs: cfg.procs,
-        runs: cfg.runs,
-        points,
-    }
+    run_figure_on(&Pool::new(cfg.workers), cfg, kind, progress)
 }
 
 /// DEMT-only timing sweep for Figure 7 (no bounds, no baselines — just
@@ -329,22 +421,76 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
+        // The reduction folds results in run order regardless of which
+        // worker computed them, so the parallel point is not merely
+        // close to the sequential one — it is the *same JSON bytes*.
         let mut cfg = ExperimentConfig::quick();
         cfg.task_counts = vec![12];
         cfg.runs = 3;
+        cfg.record_wall = false; // timing is the one nondeterministic field
         cfg.workers = 1;
         let seq = run_point(&cfg, WorkloadKind::Mixed, 12);
         cfg.workers = 3;
         let par = run_point(&cfg, WorkloadKind::Mixed, 12);
-        for (a, b) in seq.series.iter().zip(&par.series) {
-            assert_eq!(a.0, b.0);
-            // Workers fold runs in a different order, so sums may differ
-            // by float non-associativity — but only by ULPs.
-            let rel = |x: f64, y: f64| (x - y).abs() <= 1e-12 * x.abs().max(1.0);
-            assert!(rel(a.1.minsum.sum_value, b.1.minsum.sum_value));
-            assert!(rel(a.1.cmax.sum_bound, b.1.cmax.sum_bound));
-            assert_eq!(a.1.minsum.runs, b.1.minsum.runs);
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap()
+        );
+    }
+
+    #[test]
+    fn run_point_is_byte_identical_across_worker_counts() {
+        // Acceptance gate: workers ∈ {1, 3, 8} must serialize to the
+        // same bytes (index-ordered reduction, wall recording off).
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![14];
+        cfg.runs = 5;
+        cfg.record_wall = false;
+        let json_for = |workers: usize| {
+            let mut c = cfg.clone();
+            c.workers = workers;
+            serde_json::to_string(&run_point(&c, WorkloadKind::Cirne, 14)).unwrap()
+        };
+        let reference = json_for(1);
+        for workers in [3, 8] {
+            assert_eq!(json_for(workers), reference, "workers = {workers} drifted");
         }
+    }
+
+    #[test]
+    fn figure_sweep_on_shared_pool_matches_per_figure_runs() {
+        // The flattened all-figures cell list must reduce to exactly
+        // what per-figure sweeps produce.
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![10, 16];
+        cfg.runs = 2;
+        cfg.record_wall = false;
+        let pool = Pool::new(4);
+        let kinds = [WorkloadKind::WeaklyParallel, WorkloadKind::Cirne];
+        let both = run_figures_on(&pool, &cfg, &kinds, &|_msg| {});
+        assert_eq!(both.len(), 2);
+        for (fig, &kind) in both.iter().zip(&kinds) {
+            let single = run_figure_on(&pool, &cfg, kind, |_msg: &str| {});
+            assert_eq!(
+                serde_json::to_string(fig).unwrap(),
+                serde_json::to_string(&single).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn progress_fires_once_per_point() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.task_counts = vec![8, 12];
+        cfg.runs = 2;
+        cfg.workers = 2;
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let pool = Pool::new(cfg.workers);
+        let _ = run_figures_on(&pool, &cfg, &[WorkloadKind::Mixed], &|msg| {
+            assert!(msg.contains("runs done"), "{msg}");
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     #[test]

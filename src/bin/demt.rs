@@ -18,6 +18,11 @@ use std::io::Read;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { die(USAGE) };
+    // `repro` has its own flag grammar (positional figure names); hand
+    // it the raw arguments before the --flag/value parse below.
+    if cmd == "repro" {
+        std::process::exit(demt::sim::repro_cli(&args[1..]));
+    }
     let opts = parse_opts(&args[1..]);
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
@@ -370,4 +375,8 @@ COMMANDS
   swf       --file TRACE.swf --procs M [--seed S]
             replay a Standard Workload Format trace through the three
             front-end disciplines
+  repro     [fig3..fig7|ablation|verify|all] [--quick|--paper]
+            [--workers W] [--json PATH] [--no-timing] ...
+            regenerate the paper's figures on one shared work-stealing
+            pool (same driver as the repro binary; `demt repro --help`)
 ";

@@ -23,7 +23,8 @@
 //! | [`core`] | `demt-core` | the DEMT algorithm |
 //! | [`baselines`] | `demt-baselines` | Gang, Sequential, three Graham lists |
 //! | [`online`] | `demt-online` | on-line batch framework over release dates |
-//! | [`sim`] | `demt-sim` | experiment harness regenerating Figures 3–7 |
+//! | [`exec`] | `demt-exec` | work-stealing executor: scoped pool, deterministic `par_map`/`par_map_reduce` |
+//! | [`sim`] | `demt-sim` | experiment harness regenerating Figures 3–7 (cell-parallel on the `exec` pool) |
 //! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
 //! | [`frontend`] | `demt-frontend` | cluster front-end simulation: job streams, FCFS/EASY queues, SWF traces, response metrics |
 //! | [`divisible`] | `demt-divisible` | divisible-load & preemptive scheduling: McNaughton, Smith gangs, moldable bridging |
@@ -65,6 +66,7 @@ pub use demt_distr as distr;
 pub use demt_divisible as divisible;
 pub use demt_dual as dual;
 pub use demt_exact as exact;
+pub use demt_exec as exec;
 pub use demt_frontend as frontend;
 pub use demt_kernels as kernels;
 pub use demt_lp as lp;
@@ -92,6 +94,7 @@ pub mod prelude {
         LocalOrder,
     };
     pub use demt_dual::{cmax_lower_bound, dual_approx, DualConfig, DualResult};
+    pub use demt_exec::Pool;
     pub use demt_model::{Instance, InstanceBuilder, MoldableTask, TaskId};
     pub use demt_online::{online_batch_schedule, OnlineJob, OnlineResult};
     pub use demt_platform::{

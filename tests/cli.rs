@@ -158,9 +158,55 @@ fn help_lists_all_commands() {
         "exact",
         "frontend",
         "swf",
+        "repro",
     ] {
         assert!(text.contains(cmd), "help is missing {cmd}");
     }
+}
+
+#[test]
+fn repro_subcommand_is_deterministic_across_worker_counts() {
+    // `demt repro` shares the repro driver: a tiny sweep with the
+    // wall-clock fields zeroed must emit byte-identical JSON for any
+    // worker count (the index-ordered reduction guarantee, end to end).
+    let dir = std::env::temp_dir().join(format!("demt-cli-repro-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_for = |workers: &str| -> Vec<u8> {
+        let path = dir.join(format!("w{workers}.json"));
+        let out = demt()
+            .args([
+                "repro",
+                "fig6",
+                "--tasks",
+                "8,12",
+                "--procs",
+                "12",
+                "--runs",
+                "2",
+                "--no-timing",
+                "--workers",
+                workers,
+                "--out",
+                dir.to_str().unwrap(),
+                "--json",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run demt repro");
+        assert!(
+            out.status.success(),
+            "repro failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read(&path).expect("json written")
+    };
+    let w1 = json_for("1");
+    let w3 = json_for("3");
+    assert!(!w1.is_empty());
+    assert_eq!(w1, w3, "worker count changed the output bytes");
+    // The CSV series land next to the JSON, same as the repro binary.
+    assert!(dir.join("fig6_cirne.csv").exists());
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
