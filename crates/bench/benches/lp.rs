@@ -1,0 +1,98 @@
+//! Cold-vs-warm benches for the revised simplex on the real minsum
+//! horizon LPs (see `crates/bench/src/lib.rs` for how to read the
+//! numbers).
+//!
+//! * `lp_solver/*` isolates the solver on one assembled horizon LP:
+//!   `cold` is the two-phase solve from the all-slack/artificial start,
+//!   `seeded` starts from the greedy structural basis (phase 1 never
+//!   runs), `reopt` re-solves from the known optimal basis (the
+//!   steady-state cost of a warm sweep link).
+//! * `lp_sweep/*` measures a whole 8-horizon sweep: `cold_restarts`
+//!   re-solves every horizon from scratch (the pre-warm-start
+//!   behaviour), `warm_chain` is `minsum_bounds_for_horizons` (greedy
+//!   seed at the chunk head, neighbour bases after).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_bounds::{assemble_minsum_lp, minsum_bounds_for_horizons, BoundConfig};
+use demt_dual::{dual_approx, DualConfig};
+use demt_workload::{generate, WorkloadKind};
+use std::hint::black_box;
+
+fn horizons_for(inst: &demt_model::Instance, count: usize) -> Vec<f64> {
+    let dual = dual_approx(inst, &DualConfig::default());
+    (0..count)
+        .map(|i| dual.cmax_estimate * (1.0 + 0.05 * i as f64))
+        .collect()
+}
+
+fn lp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let inst = generate(WorkloadKind::Cirne, n, 200, 3);
+        let dual = dual_approx(&inst, &DualConfig::default());
+        let ml = assemble_minsum_lp(&inst, dual.cmax_estimate, &BoundConfig::default());
+        let optimal = ml.lp.solve_from(&ml.greedy_basis()).expect("feasible").1;
+        group.bench_with_input(BenchmarkId::new("cold", n), &ml, |b, ml| {
+            b.iter(|| black_box(ml.lp.solve().expect("feasible").objective))
+        });
+        group.bench_with_input(BenchmarkId::new("seeded", n), &ml, |b, ml| {
+            b.iter(|| {
+                black_box(
+                    ml.lp
+                        .solve_from(&ml.greedy_basis())
+                        .expect("feasible")
+                        .0
+                        .objective,
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("reopt", n),
+            &(&ml, &optimal),
+            |b, (ml, optimal)| {
+                b.iter(|| black_box(ml.lp.solve_from(optimal).expect("feasible").0.objective))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn lp_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_sweep");
+    group.sample_size(10);
+    let n = 200usize;
+    let inst = generate(WorkloadKind::Cirne, n, 200, 3);
+    let horizons = horizons_for(&inst, 8);
+    let cfg = BoundConfig::default();
+    group.bench_with_input(
+        BenchmarkId::new("cold_restarts", n),
+        &(&inst, &horizons),
+        |b, (inst, horizons)| {
+            b.iter(|| {
+                let total: f64 = horizons
+                    .iter()
+                    .map(|&h| {
+                        let ml = assemble_minsum_lp(inst, h, &cfg);
+                        ml.lp.solve().expect("feasible").objective
+                    })
+                    .sum();
+                black_box(total)
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("warm_chain", n),
+        &(&inst, &horizons),
+        |b, (inst, horizons)| {
+            b.iter(|| {
+                let bounds = minsum_bounds_for_horizons(inst, horizons, &cfg);
+                black_box(bounds.iter().map(|x| x.lp_value).sum::<f64>())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, lp_solver, lp_sweep);
+criterion_main!(benches);

@@ -26,13 +26,33 @@
 //! The returned bound is `max(LP optimum, Σᵢ wᵢ·min_k pᵢ(k))` — the
 //! second term is the trivial per-task bound, which also covers the
 //! degenerate single-interval cases.
+//!
+//! ## Solver usage
+//!
+//! Every solve is warm-started. The single-horizon bound seeds the
+//! revised simplex with the **greedy structural basis**
+//! ([`MinsumLp::greedy_basis`]: earliest-fitting interval per task
+//! under the prefix caps), which skips phase 1 outright and lands
+//! within a few dozen pivots of the optimum; the horizon sweeps
+//! additionally chain each solve from the neighbouring horizon's
+//! optimal basis in fixed-size, worker-count-independent chunks, so
+//! `--workers 1` and `--workers N` produce byte-identical results.
+//! [`MinsumLp::seed_basis`] is the simpler guaranteed-feasible vertex
+//! (every task in its unbounded last interval), kept as the fallback
+//! reference the tests pin the greedy seed against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use demt_dual::{cmax_lower_bound, dual_approx, DualConfig};
-use demt_lp::{LinearProgram, Relation};
+use demt_lp::{Basis, LinearProgram, Relation};
 use demt_model::Instance;
+
+/// Horizons per warm-start chain in the sweep APIs. Chunks are cut at
+/// this fixed size — *independent of the worker count* — so the warm
+/// chains, and therefore every float in the output, are identical
+/// whether the sweep runs sequentially or on any pool size.
+const WARM_CHUNK: usize = 8;
 
 /// Configuration of the minsum bound.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +88,11 @@ pub struct MinsumBound {
     pub boundaries: Vec<f64>,
     /// Simplex iterations spent.
     pub lp_iterations: usize,
+    /// Basis refactorizations performed by the solver.
+    pub lp_refactorizations: usize,
+    /// Whether the LP accepted a warm-start basis (the structural seed
+    /// or, in sweeps, the neighbouring horizon's optimum).
+    pub lp_warm_started: bool,
 }
 
 /// Builds the interval boundaries: `0, t_0, …, t_{K+1}` with
@@ -118,6 +143,102 @@ pub fn minsum_lower_bound_with_horizon(
     cmax_estimate: f64,
     cfg: &BoundConfig,
 ) -> MinsumBound {
+    let ml = assemble_minsum_lp(inst, cmax_estimate, cfg);
+    solve_assembled(inst, ml, None).0
+}
+
+/// The assembled §3.3 interval-indexed LP for one horizon, plus the
+/// variable layout needed to craft warm-start bases against it.
+///
+/// Row layout: one coverage row (`Σ_ℓ x_{i,ℓ} ≥ 1`) per task, in task
+/// order, followed by one prefix surface row (`≤ m·τ_{ℓ+1}`) per
+/// bounded prefix. The structural seeds exploit it: assigning every
+/// task one interval and making each surface row's slack basic is
+/// always a vertex basis (each structural column holds the single
+/// coverage-row entry of its task), so a "cold" horizon solve skips
+/// phase 1 entirely — [`MinsumLp::greedy_basis`] picks near-optimal
+/// intervals, [`MinsumLp::seed_basis`] the trivially feasible last
+/// interval.
+#[derive(Debug, Clone)]
+pub struct MinsumLp {
+    /// The relaxation itself.
+    pub lp: LinearProgram,
+    /// Interval boundaries `0, t_0, …, t_{K+1}`.
+    pub boundaries: Vec<f64>,
+    /// Variable → `(task, interval)`.
+    pub owner: Vec<(usize, usize)>,
+    /// Per task, the column of its unbounded last-interval variable.
+    last_var_of_task: Vec<usize>,
+    /// `(task, interval)` → variable (`usize::MAX` when absent).
+    var_of: Vec<Vec<usize>>,
+    /// Per variable, its surface coefficient `S_{i,ℓ}`.
+    surfaces: Vec<f64>,
+    /// Per task, its weight (for the greedy seed's Smith ratio).
+    weights: Vec<f64>,
+}
+
+impl MinsumLp {
+    /// The structural warm-start basis of the all-last-interval vertex
+    /// — the simplest guaranteed-feasible seed (phase 1 never runs).
+    /// The solve path prefers [`MinsumLp::greedy_basis`], which is
+    /// equally feasible-by-construction but lands far closer to the
+    /// optimum; this one is the reference the tests pin it against.
+    pub fn seed_basis(&self) -> Basis {
+        let n = self.last_var_of_task.len();
+        let m = self.lp.num_constraints();
+        let mut cols = Vec::with_capacity(m);
+        cols.extend_from_slice(&self.last_var_of_task);
+        for row in n..m {
+            cols.push(self.lp.slack_column(row).expect("surface rows are ≤"));
+        }
+        Basis::new(cols)
+    }
+
+    /// A greedy warm-start basis: assigns each task the earliest
+    /// interval that still fits under the prefix surface caps, filling
+    /// each interval by descending Smith ratio `wᵢ / S_{i,ℓ}` (heavy,
+    /// small tasks first). Feasible by construction — every prefix cap
+    /// is respected as it fills — and usually within a few dozen pivots
+    /// of the LP optimum, against several hundred from the
+    /// all-last-interval vertex of [`MinsumLp::seed_basis`].
+    pub fn greedy_basis(&self) -> Basis {
+        let n = self.last_var_of_task.len();
+        let m = self.lp.num_constraints();
+        let n_intervals = self.boundaries.len() - 1;
+        let last = n_intervals - 1;
+        let mut assigned: Vec<usize> = self.last_var_of_task.clone();
+        let mut placed = vec![false; n];
+        let mut used = 0.0f64;
+        let mut cand: Vec<usize> = Vec::new();
+        for l in 0..last {
+            let cap = self.lp.constraints()[n + l].rhs;
+            cand.clear();
+            cand.extend((0..n).filter(|&i| !placed[i] && self.var_of[i][l] != usize::MAX));
+            // Descending w/S; ties by task index for determinism.
+            cand.sort_by(|&a, &b| {
+                let ra = self.weights[a] / self.surfaces[self.var_of[a][l]];
+                let rb = self.weights[b] / self.surfaces[self.var_of[b][l]];
+                rb.total_cmp(&ra).then(a.cmp(&b))
+            });
+            for &i in &cand {
+                let v = self.var_of[i][l];
+                if used + self.surfaces[v] <= cap {
+                    used += self.surfaces[v];
+                    assigned[i] = v;
+                    placed[i] = true;
+                }
+            }
+        }
+        let mut cols = assigned;
+        for row in n..m {
+            cols.push(self.lp.slack_column(row).expect("surface rows are ≤"));
+        }
+        Basis::new(cols)
+    }
+}
+
+/// Assembles the interval-indexed LP relaxation for one horizon.
+pub fn assemble_minsum_lp(inst: &Instance, cmax_estimate: f64, cfg: &BoundConfig) -> MinsumLp {
     let n = inst.len();
     let m = inst.procs() as f64;
     let tmin = inst.min_min_time();
@@ -133,6 +254,7 @@ pub fn minsum_lower_bound_with_horizon(
     let mut objective: Vec<f64> = Vec::new();
     let mut surfaces: Vec<f64> = Vec::new(); // per variable, S_{i,ℓ}
     let mut owner: Vec<(usize, usize)> = Vec::new(); // var → (task, interval)
+    let mut last_var_of_task = vec![usize::MAX; n];
     for (i, t) in inst.tasks().iter().enumerate() {
         for l in 0..n_intervals {
             let surface = if l == last {
@@ -142,6 +264,9 @@ pub fn minsum_lower_bound_with_horizon(
             };
             if let Some(s) = surface {
                 var_of[i][l] = objective.len();
+                if l == last {
+                    last_var_of_task[i] = objective.len();
+                }
                 objective.push(t.weight() * boundaries[l]);
                 surfaces.push(s);
                 owner.push((i, l));
@@ -174,53 +299,157 @@ pub fn minsum_lower_bound_with_horizon(
         }
         lp.constrain(coeffs, Relation::Le, m * boundaries[l_cap + 1]);
     }
-
-    let sol = lp
-        .solve()
-        .expect("the all-last-interval point is always feasible");
-    let trivial: f64 = inst.tasks().iter().map(|t| t.weight() * t.min_time()).sum();
-    MinsumBound {
-        value: sol.objective.max(trivial),
-        lp_value: sol.objective,
-        trivial_value: trivial,
+    MinsumLp {
+        lp,
         boundaries,
-        lp_iterations: sol.iterations,
+        owner,
+        last_var_of_task,
+        var_of,
+        surfaces,
+        weights: inst.tasks().iter().map(|t| t.weight()).collect(),
     }
 }
 
+/// What a basis column *meant* in its originating horizon LP, so it can
+/// be re-identified in a neighbour's LP whose raw column indices have
+/// shifted (the variable registry grows/shrinks as boundaries move).
+struct SeedMap {
+    owner: Vec<(usize, usize)>,
+    n_vars: usize,
+    n_rows: usize,
+}
+
+impl SeedMap {
+    fn of(ml: &MinsumLp) -> Self {
+        Self {
+            owner: ml.owner.clone(),
+            n_vars: ml.lp.num_vars(),
+            n_rows: ml.lp.num_constraints(),
+        }
+    }
+}
+
+/// Translates a neighbouring horizon's optimal basis into this LP's
+/// column indices: structural columns by `(task, interval)` identity,
+/// slack columns by row. `None` when the grids are incompatible (row
+/// count changed, or a basic variable has no counterpart here) — the
+/// chain then restarts from the structural seed instead of paying for
+/// a cold two-phase solve.
+fn remap_seed(basis: &Basis, prev: &SeedMap, ml: &MinsumLp) -> Option<Basis> {
+    if prev.n_rows != ml.lp.num_constraints() || !basis.is_complete() {
+        return None;
+    }
+    let n_intervals = ml.boundaries.len() - 1;
+    let mut cols = Vec::with_capacity(basis.len());
+    for &c in basis.columns() {
+        if c < prev.n_vars {
+            let (i, l) = prev.owner[c];
+            if l >= n_intervals {
+                return None;
+            }
+            let v = ml.var_of[i][l];
+            if v == usize::MAX {
+                return None;
+            }
+            cols.push(v);
+        } else {
+            cols.push(ml.lp.slack_column(c - prev.n_vars)?);
+        }
+    }
+    Some(Basis::new(cols))
+}
+
+/// Solves an assembled horizon LP, seeded by `seed` when given (else by
+/// the structural basis), and returns the bound plus the optimal basis
+/// for the next horizon in a warm-start chain.
+fn solve_assembled(inst: &Instance, ml: MinsumLp, seed: Option<&Basis>) -> (MinsumBound, Basis) {
+    let structural;
+    let seed = match seed {
+        Some(b) => b,
+        None => {
+            structural = ml.greedy_basis();
+            &structural
+        }
+    };
+    let (sol, basis) = ml
+        .lp
+        .solve_from(seed)
+        .expect("a structural seed basis is always feasible");
+    let trivial: f64 = inst.tasks().iter().map(|t| t.weight() * t.min_time()).sum();
+    (
+        MinsumBound {
+            value: sol.objective.max(trivial),
+            lp_value: sol.objective,
+            trivial_value: trivial,
+            boundaries: ml.boundaries,
+            lp_iterations: sol.iterations,
+            lp_refactorizations: sol.refactorizations,
+            lp_warm_started: sol.warm_started,
+        },
+        basis,
+    )
+}
+
+/// Evaluates one warm-start chain: consecutive horizons seed each other
+/// with the previous optimal basis, falling back to the structural seed
+/// when the interval grid changed shape.
+fn sweep_chunk(inst: &Instance, horizons: &[f64], cfg: &BoundConfig) -> Vec<MinsumBound> {
+    let mut prev: Option<(Basis, SeedMap)> = None;
+    horizons
+        .iter()
+        .map(|&h| {
+            let ml = assemble_minsum_lp(inst, h, cfg);
+            let seed = prev.take().and_then(|(b, map)| remap_seed(&b, &map, &ml));
+            let map = SeedMap::of(&ml);
+            let (bound, basis) = solve_assembled(inst, ml, seed.as_ref());
+            prev = Some((basis, map));
+            bound
+        })
+        .collect()
+}
+
 /// Evaluates the minsum bound at every horizon in `horizons`,
-/// sequentially. One LP is assembled and solved per horizon.
+/// sequentially, **warm-starting** each solve from its left neighbour.
 ///
 /// The horizon estimate `C*max` steers where the doubling intervals
 /// fall, and a shifted horizon sometimes tightens the LP optimum; this
-/// sweep is the sensitivity probe the ROADMAP's warm-starting item
-/// needs (which horizons are worth solving at all). See
-/// [`minsum_bounds_for_horizons_on`] for the pooled variant.
+/// sweep is the sensitivity probe behind the ROADMAP's warm-starting
+/// item. Horizons are processed in fixed-size chains of `WARM_CHUNK`:
+/// the first solve of a chain starts from the greedy structural basis
+/// ([`MinsumLp::greedy_basis`]), every later one from the previous
+/// optimal basis (repaired by the solver's dual-simplex phase when the shifted
+/// right-hand sides left it infeasible, or replaced by the structural
+/// seed when the interval grid changed shape). The chunking is
+/// independent of any worker count, so this path and
+/// [`minsum_bounds_for_horizons_on`] produce **byte-identical** results.
 pub fn minsum_bounds_for_horizons(
     inst: &Instance,
     horizons: &[f64],
     cfg: &BoundConfig,
 ) -> Vec<MinsumBound> {
     horizons
-        .iter()
-        .map(|&h| minsum_lower_bound_with_horizon(inst, h, cfg))
+        .chunks(WARM_CHUNK)
+        .flat_map(|chunk| sweep_chunk(inst, chunk, cfg))
         .collect()
 }
 
-/// Opt-in parallel path of [`minsum_bounds_for_horizons`]: the horizon
-/// sweep fans out over a `demt-exec` pool, one LP solve per cell. The
-/// result vector is in `horizons` order and identical to the
-/// sequential path (each bound is a deterministic function of its
-/// horizon alone).
+/// Opt-in parallel path of [`minsum_bounds_for_horizons`]: the same
+/// fixed-size warm-start chains, fanned out over a `demt-exec` pool
+/// (one chain per cell). Because the chains are cut at `WARM_CHUNK`
+/// regardless of pool size and the reduction is index-ordered, the
+/// result is byte-identical to the sequential path for any worker
+/// count.
 pub fn minsum_bounds_for_horizons_on(
     pool: &demt_exec::Pool,
     inst: &Instance,
     horizons: &[f64],
     cfg: &BoundConfig,
 ) -> Vec<MinsumBound> {
-    pool.par_map(horizons, |_, &h| {
-        minsum_lower_bound_with_horizon(inst, h, cfg)
-    })
+    let chunks: Vec<&[f64]> = horizons.chunks(WARM_CHUNK).collect();
+    pool.par_map(&chunks, |_, chunk| sweep_chunk(inst, chunk, cfg))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Weighted squashed-area lower bound on `Σ wᵢCᵢ` — combinatorial,
@@ -264,16 +493,28 @@ pub struct InstanceBounds {
 /// The minsum side is the max of the LP relaxation, the trivial
 /// per-task bound and the combinatorial squashed-area bound.
 pub fn instance_bounds(inst: &Instance, cfg: &BoundConfig) -> InstanceBounds {
+    instance_bounds_detailed(inst, cfg).0
+}
+
+/// Like [`instance_bounds`], but also returns the [`MinsumBound`]
+/// backing the minsum side, so callers (e.g. `demt bound`) can report
+/// the LP's phase cost — iterations, refactorizations, warm-start
+/// status — alongside the bound values.
+pub fn instance_bounds_detailed(
+    inst: &Instance,
+    cfg: &BoundConfig,
+) -> (InstanceBounds, MinsumBound) {
     let dual = dual_approx(inst, &cfg.dual);
     let minsum = minsum_lower_bound_with_horizon(inst, dual.cmax_estimate, cfg);
     // The dual result's own lower bound is the certified one.
     let cmax = dual
         .lower_bound
         .max(cmax_lower_bound(inst, cfg.dual.rel_eps));
-    InstanceBounds {
+    let bounds = InstanceBounds {
         cmax,
         minsum: minsum.value.max(squashed_minsum_bound(inst)),
-    }
+    };
+    (bounds, minsum)
 }
 
 #[cfg(test)]
@@ -466,5 +707,96 @@ mod tests {
         let a = minsum_lower_bound(&inst, &BoundConfig::default());
         let b = minsum_lower_bound(&inst, &BoundConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_seed_skips_phase_one() {
+        // The greedy structural basis is feasible by construction, so
+        // every single-shot bound reports an accepted warm start.
+        let inst = generate(WorkloadKind::Cirne, 35, 12, 3);
+        let b = minsum_lower_bound(&inst, &BoundConfig::default());
+        assert!(b.lp_warm_started);
+    }
+
+    #[test]
+    fn greedy_seed_matches_all_last_seed_and_saves_iterations() {
+        // Both structural seeds are feasible vertices of the same LP:
+        // the optima must agree, and the greedy one must not pivot
+        // more than the trivial all-last-interval vertex.
+        let inst = generate(WorkloadKind::Cirne, 50, 20, 7);
+        let dual = demt_dual::dual_approx(&inst, &demt_dual::DualConfig::default());
+        let ml = assemble_minsum_lp(&inst, dual.cmax_estimate, &BoundConfig::default());
+        let (from_last, _) = ml.lp.solve_from(&ml.seed_basis()).expect("feasible");
+        let (from_greedy, _) = ml.lp.solve_from(&ml.greedy_basis()).expect("feasible");
+        assert!(from_last.warm_started && from_greedy.warm_started);
+        assert!(
+            (from_last.objective - from_greedy.objective).abs()
+                <= 1e-9 * from_last.objective.abs().max(1.0),
+            "{} vs {}",
+            from_last.objective,
+            from_greedy.objective
+        );
+        assert!(
+            from_greedy.iterations <= from_last.iterations,
+            "greedy seed took {} iterations vs {} from the last-interval vertex",
+            from_greedy.iterations,
+            from_last.iterations
+        );
+    }
+
+    #[test]
+    fn warm_sweep_matches_independent_cold_solves() {
+        // The tentpole equality check: every bound produced by the
+        // warm-start chain agrees (to 1e-9) with a from-scratch
+        // two-phase solve of the same horizon LP.
+        let inst = generate(WorkloadKind::Mixed, 40, 16, 7);
+        let dual = demt_dual::dual_approx(&inst, &demt_dual::DualConfig::default());
+        let horizons: Vec<f64> = (0..10)
+            .map(|i| dual.lower_bound * (1.0 + 0.15 * i as f64))
+            .collect();
+        let cfg = BoundConfig::default();
+        let warm = minsum_bounds_for_horizons(&inst, &horizons, &cfg);
+        // The occasional link may fail its dual-simplex repair and fall
+        // back to a cold start (correct, just slower) — but the chain
+        // must warm start in the main.
+        let hits = warm.iter().filter(|b| b.lp_warm_started).count();
+        assert!(
+            hits * 2 > warm.len(),
+            "only {hits}/{} links warm started",
+            warm.len()
+        );
+        for (h, w) in horizons.iter().zip(&warm) {
+            let ml = assemble_minsum_lp(&inst, *h, &cfg);
+            let cold = ml.lp.solve().expect("feasible by construction");
+            assert!(
+                (w.lp_value - cold.objective).abs() <= 1e-9 * cold.objective.abs().max(1.0),
+                "horizon {h}: warm {} vs cold {}",
+                w.lp_value,
+                cold.objective
+            );
+        }
+    }
+
+    #[test]
+    fn chained_seeds_cut_iterations() {
+        // Within a chunk, later horizons start from the neighbour's
+        // optimum; their iteration counts must collapse relative to
+        // structural-seed solves of the same horizons.
+        let inst = generate(WorkloadKind::Cirne, 60, 24, 5);
+        let dual = demt_dual::dual_approx(&inst, &demt_dual::DualConfig::default());
+        let horizons: Vec<f64> = (0..6)
+            .map(|i| dual.cmax_estimate * (1.0 + 0.02 * i as f64))
+            .collect();
+        let cfg = BoundConfig::default();
+        let chained = minsum_bounds_for_horizons(&inst, &horizons, &cfg);
+        let solo: usize = horizons
+            .iter()
+            .map(|&h| minsum_lower_bound_with_horizon(&inst, h, &cfg).lp_iterations)
+            .sum();
+        let warm: usize = chained.iter().map(|b| b.lp_iterations).sum();
+        assert!(
+            warm < solo,
+            "chained sweep spent {warm} iterations vs {solo} for independent solves"
+        );
     }
 }

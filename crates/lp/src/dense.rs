@@ -1,0 +1,287 @@
+//! Test-only dense full-tableau two-phase simplex — the solver this
+//! crate shipped before the revised rewrite, kept verbatim (modulo the
+//! trimmed return type) as the differential-testing reference. The
+//! property suite in [`crate::difftests`] pits the revised solver
+//! against this one on random feasible / infeasible / degenerate
+//! programs; agreement of two independent implementations is the
+//! strongest correctness evidence we can get without an external
+//! solver.
+
+use crate::problem::{LinearProgram, Relation};
+use crate::simplex::LpError;
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    rows: usize,
+    /// Total columns including the RHS (last).
+    cols: usize,
+    a: Vec<f64>,
+    /// Reduced-cost row; slot `cols-1` holds minus the current objective.
+    cost: Vec<f64>,
+    basis: Vec<usize>,
+    /// Columns allowed to enter (artificials are barred in phase 2).
+    enterable: Vec<bool>,
+    iterations: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    fn pivot(&mut self, r: usize, c: usize) {
+        let cols = self.cols;
+        let inv = 1.0 / self.a[r * cols + c];
+        for j in 0..cols {
+            self.a[r * cols + j] *= inv;
+        }
+        self.a[r * cols + c] = 1.0; // exact
+        for i in 0..self.rows {
+            if i == r {
+                continue;
+            }
+            let f = self.a[i * cols + c];
+            if f.abs() <= EPS * 1e-3 {
+                continue;
+            }
+            // row_i -= f * row_r, split to satisfy the borrow checker.
+            let (lo, hi) = if i < r { (i, r) } else { (r, i) };
+            let (first, second) = self.a.split_at_mut(hi * cols);
+            let (row_i, row_r) = if i < r {
+                (&mut first[lo * cols..lo * cols + cols], &second[..cols])
+            } else {
+                (&mut second[..cols], &first[lo * cols..lo * cols + cols])
+            };
+            for j in 0..cols {
+                row_i[j] -= f * row_r[j];
+            }
+            row_i[c] = 0.0; // exact
+        }
+        let f = self.cost[c];
+        if f.abs() > 0.0 {
+            for j in 0..cols {
+                self.cost[j] -= f * self.a[r * cols + j];
+            }
+            self.cost[c] = 0.0;
+        }
+        self.basis[r] = c;
+        self.iterations += 1;
+    }
+
+    /// Runs the simplex loop on the current cost row. Returns `Ok(())`
+    /// at optimality.
+    fn optimize(&mut self, max_iters: usize) -> Result<(), LpError> {
+        let rhs = self.cols - 1;
+        let mut stall = 0usize;
+        let mut last_obj = -self.cost[rhs];
+        loop {
+            if self.iterations > max_iters {
+                return Err(LpError::IterationLimit { limit: max_iters });
+            }
+            // Entering column: Dantzig, or Bland when stalling.
+            let bland = stall > 64;
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..rhs {
+                if !self.enterable[j] {
+                    continue;
+                }
+                let d = self.cost[j];
+                if d < best {
+                    enter = Some(j);
+                    if bland {
+                        break; // first improving index
+                    }
+                    best = d;
+                }
+            }
+            let Some(c) = enter else { return Ok(()) };
+            // Ratio test; Bland tie-break on the leaving basis index.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..self.rows {
+                let a = self.at(i, c);
+                if a > EPS {
+                    let ratio = self.at(i, rhs) / a;
+                    let better = ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_none_or(|l| self.basis[i] < self.basis[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(r, c);
+            let obj = -self.cost[rhs];
+            if (last_obj - obj).abs() <= EPS * last_obj.abs().max(1.0) {
+                stall += 1;
+            } else {
+                stall = 0;
+                last_obj = obj;
+            }
+        }
+    }
+}
+
+/// Solves the LP with the dense two-phase simplex; returns the optimal
+/// objective, the optimal point, and the iterations spent.
+pub fn solve(lp: &LinearProgram) -> Result<(f64, Vec<f64>, usize), LpError> {
+    let n = lp.num_vars();
+    let m = lp.num_constraints();
+
+    // Column layout: structural | slack/surplus | artificial | rhs.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    // Normalize rows: rhs ≥ 0.
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let rows: Vec<Row> = lp
+        .constraints()
+        .iter()
+        .map(|c| {
+            let mut coeffs = c.coeffs.clone();
+            let mut relation = c.relation;
+            let mut rhs = c.rhs;
+            if rhs < 0.0 {
+                rhs = -rhs;
+                for e in coeffs.iter_mut() {
+                    e.1 = -e.1;
+                }
+                relation = match relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            Row {
+                coeffs,
+                relation,
+                rhs,
+            }
+        })
+        .collect();
+    for r in &rows {
+        match r.relation {
+            Relation::Le => n_slack += 1,
+            Relation::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Relation::Eq => n_art += 1,
+        }
+    }
+    let cols = n + n_slack + n_art + 1;
+    let rhs_col = cols - 1;
+    let mut t = Tableau {
+        rows: m,
+        cols,
+        a: vec![0.0; m * cols],
+        cost: vec![0.0; cols],
+        basis: vec![usize::MAX; m],
+        enterable: vec![true; cols - 1],
+        iterations: 0,
+    };
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let art_start = n + n_slack;
+    for (i, r) in rows.iter().enumerate() {
+        for &(j, a) in &r.coeffs {
+            t.a[i * cols + j] += a; // duplicates summed
+        }
+        t.a[i * cols + rhs_col] = r.rhs;
+        match r.relation {
+            Relation::Le => {
+                t.a[i * cols + slack_idx] = 1.0;
+                t.basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t.a[i * cols + slack_idx] = -1.0;
+                slack_idx += 1;
+                t.a[i * cols + art_idx] = 1.0;
+                t.basis[i] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t.a[i * cols + art_idx] = 1.0;
+                t.basis[i] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let max_iters = 200 * (m + cols).max(64);
+
+    // Phase 1: minimize the artificial sum. Reduced costs: for each
+    // artificial-basic row, subtract the row from the cost row.
+    if n_art > 0 {
+        for j in 0..cols {
+            t.cost[j] = 0.0;
+        }
+        for j in art_start..cols - 1 {
+            t.cost[j] = 1.0;
+        }
+        for i in 0..m {
+            if t.basis[i] >= art_start {
+                for j in 0..cols {
+                    t.cost[j] -= t.a[i * cols + j];
+                }
+                t.cost[t.basis[i]] = 0.0;
+            }
+        }
+        t.optimize(max_iters)?;
+        let phase1 = -t.cost[rhs_col];
+        if phase1 > 1e-7 * (1.0 + rows.iter().map(|r| r.rhs.abs()).sum::<f64>()) {
+            return Err(LpError::Infeasible);
+        }
+        // Drive basic artificials out where possible; bar them all.
+        for i in 0..m {
+            if t.basis[i] >= art_start {
+                if let Some(c) = (0..art_start).find(|&j| t.at(i, j).abs() > 1e-7) {
+                    t.pivot(i, c);
+                }
+            }
+        }
+        for j in art_start..cols - 1 {
+            t.enterable[j] = false;
+        }
+    }
+
+    // Phase 2: real objective. Reduced costs d = c - c_B B⁻¹ A, built by
+    // starting from c and eliminating basic columns.
+    for j in 0..cols {
+        t.cost[j] = 0.0;
+    }
+    for j in 0..n {
+        t.cost[j] = lp.objective()[j];
+    }
+    for i in 0..m {
+        let b = t.basis[i];
+        let cb = if b < n { lp.objective()[b] } else { 0.0 };
+        if cb != 0.0 {
+            for j in 0..cols {
+                t.cost[j] -= cb * t.a[i * cols + j];
+            }
+            t.cost[b] = 0.0;
+        }
+    }
+    t.optimize(max_iters)?;
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        let b = t.basis[i];
+        if b < n {
+            x[b] = t.at(i, rhs_col).max(0.0);
+        }
+    }
+    Ok((lp.objective_value(&x), x, t.iterations))
+}

@@ -1,0 +1,217 @@
+//! Differential property suite: the revised simplex against the dense
+//! full-tableau reference ([`crate::dense`]) on random feasible,
+//! infeasible, unbounded and degenerate programs, plus warm-vs-cold
+//! agreement. Two independent implementations agreeing on the optimum
+//! (within `1e-9`) is the crate's main correctness argument.
+
+use crate::problem::{LinearProgram, Relation};
+use crate::simplex::{solve, solve_from, solve_with_basis, LpError};
+use crate::{dense, Basis};
+use proptest::prelude::*;
+
+/// `(objective, rows)` where each row is `(coeffs, relation, rhs)`.
+type RawLp = (Vec<f64>, Vec<(Vec<f64>, usize, f64)>);
+
+fn build(raw: &RawLp) -> LinearProgram {
+    let (c, rows) = raw;
+    let mut lp = LinearProgram::minimize(c.clone());
+    for (coeffs, rel, rhs) in rows {
+        let rel = match rel % 3 {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        let sparse: Vec<(usize, f64)> = coeffs.iter().cloned().enumerate().collect();
+        lp.constrain(sparse, rel, *rhs);
+    }
+    lp
+}
+
+fn arb_lp() -> impl Strategy<Value = RawLp> {
+    (1usize..=4, 1usize..=6).prop_flat_map(|(n, m)| {
+        let objective = prop::collection::vec(-1.0f64..4.0, n..=n);
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-2.0f64..3.0, n..=n),
+                0usize..3,
+                -3.0f64..6.0,
+            ),
+            m..=m,
+        );
+        (objective, rows)
+    })
+}
+
+/// Same shape but with right-hand sides drawn from `{0, 1}` and
+/// non-negative costs: lots of exactly-degenerate vertices, the
+/// territory where anti-cycling rules earn their keep.
+fn arb_degenerate_lp() -> impl Strategy<Value = RawLp> {
+    (1usize..=3, 1usize..=5).prop_flat_map(|(n, m)| {
+        let objective = prop::collection::vec(0.0f64..3.0, n..=n);
+        let rows = prop::collection::vec(
+            (
+                prop::collection::vec(-1.0f64..2.0, n..=n),
+                0usize..3,
+                (0usize..2).prop_map(|b| b as f64),
+            ),
+            m..=m,
+        );
+        (objective, rows)
+    })
+}
+
+fn assert_agree(
+    revised: &Result<crate::Solution, LpError>,
+    reference: Result<(f64, Vec<f64>, usize), LpError>,
+    lp: &LinearProgram,
+) {
+    match (revised, reference) {
+        (Ok(s), Ok((obj, _, _))) => {
+            assert!(
+                (s.objective - obj).abs() <= 1e-9 * s.objective.abs().max(obj.abs()).max(1.0),
+                "revised {} vs dense {obj}",
+                s.objective
+            );
+            assert!(lp.is_feasible(&s.x, 1e-6), "revised point infeasible");
+        }
+        (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+        (Err(LpError::Unbounded), Err(LpError::Unbounded)) => {}
+        (a, b) => panic!("revised {a:?} vs dense {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn revised_matches_dense_on_random_lps(raw in arb_lp()) {
+        let lp = build(&raw);
+        assert_agree(&solve(&lp), dense::solve(&lp), &lp);
+    }
+
+    #[test]
+    fn revised_matches_dense_on_degenerate_lps(raw in arb_degenerate_lp()) {
+        let lp = build(&raw);
+        assert_agree(&solve(&lp), dense::solve(&lp), &lp);
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_on_shifted_rhs(
+        raw in arb_lp(),
+        scale in 0.5f64..1.5,
+    ) {
+        let lp1 = build(&raw);
+        let Ok((_, basis)) = solve_with_basis(&lp1) else { return Ok(()); };
+        if !basis.is_complete() {
+            return Ok(());
+        }
+        // The same program with every right-hand side scaled: close
+        // enough that the warm basis is often still feasible, far
+        // enough that the optimum moves.
+        let (c, rows) = &raw;
+        let shifted: RawLp = (
+            c.clone(),
+            rows.iter()
+                .map(|(a, r, b)| (a.clone(), *r, b * scale))
+                .collect(),
+        );
+        let lp2 = build(&shifted);
+        let warm = solve_from(&lp2, &basis).map(|(s, _)| s);
+        let cold = solve(&lp2);
+        match (&warm, &cold) {
+            (Ok(w), Ok(c)) => prop_assert!(
+                (w.objective - c.objective).abs()
+                    <= 1e-9 * w.objective.abs().max(c.objective.abs()).max(1.0),
+                "warm {} vs cold {}", w.objective, c.objective
+            ),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "warm {:?} vs cold {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn returned_basis_reproduces_the_optimum(raw in arb_lp()) {
+        let lp = build(&raw);
+        let Ok((s1, basis)) = solve_with_basis(&lp) else { return Ok(()); };
+        if !basis.is_complete() {
+            return Ok(());
+        }
+        let (s2, _) = solve_from(&lp, &basis).expect("optimal basis re-solves");
+        prop_assert!(s2.warm_started);
+        prop_assert_eq!(s2.iterations, 0, "optimal seed must price out immediately");
+        prop_assert!(
+            (s1.objective - s2.objective).abs()
+                <= 1e-9 * s1.objective.abs().max(1.0)
+        );
+    }
+}
+
+#[test]
+fn stale_dimension_seed_matches_dense_result() {
+    // A seed from a 2-row program fed to a 3-row program: rejected,
+    // cold fallback, and the answer still matches the dense reference.
+    let mut small = LinearProgram::minimize(vec![1.0, 1.0]);
+    small.constrain(vec![(0, 1.0)], Relation::Ge, 1.0);
+    small.constrain(vec![(1, 1.0)], Relation::Ge, 1.0);
+    let (_, stale) = solve_with_basis(&small).unwrap();
+
+    let mut big = LinearProgram::minimize(vec![1.0, 1.0]);
+    big.constrain(vec![(0, 1.0)], Relation::Ge, 1.0);
+    big.constrain(vec![(1, 1.0)], Relation::Ge, 2.0);
+    big.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Le, 10.0);
+    let (warm, _) = solve_from(&big, &stale).unwrap();
+    assert!(!warm.warm_started);
+    let (obj, _, _) = dense::solve(&big).unwrap();
+    assert!((warm.objective - obj).abs() <= 1e-9 * obj.abs().max(1.0));
+}
+
+#[test]
+fn minsum_shaped_chain_warm_starts_match_dense() {
+    // A miniature of the bounds horizon sweep: the same covering/
+    // packing structure re-solved under shifted caps, each solve seeded
+    // with the previous optimal basis and cross-checked against the
+    // dense reference.
+    let tasks = 12usize;
+    let intervals = 4usize;
+    let build = |cap: f64| {
+        let mut cost = Vec::with_capacity(tasks * intervals);
+        for i in 0..tasks {
+            for j in 0..intervals {
+                cost.push((1 + i % 5) as f64 * (1u32 << j) as f64);
+            }
+        }
+        let mut lp = LinearProgram::minimize(cost);
+        for i in 0..tasks {
+            let coeffs = (0..intervals).map(|j| (i * intervals + j, 1.0)).collect();
+            lp.constrain(coeffs, Relation::Ge, 1.0);
+        }
+        for j in 0..intervals - 1 {
+            let mut coeffs = Vec::new();
+            for i in 0..tasks {
+                for l in 0..=j {
+                    coeffs.push((i * intervals + l, ((i % 3) + 1) as f64));
+                }
+            }
+            lp.constrain(coeffs, Relation::Le, cap * (1u32 << j) as f64);
+        }
+        lp
+    };
+    let mut seed: Option<Basis> = None;
+    let mut warm_hits = 0usize;
+    for step in 0..6 {
+        let lp = build(6.0 + step as f64);
+        let (sol, basis) = match &seed {
+            Some(b) => solve_from(&lp, b).unwrap(),
+            None => solve_with_basis(&lp).unwrap(),
+        };
+        warm_hits += usize::from(sol.warm_started);
+        let (obj, _, _) = dense::solve(&lp).unwrap();
+        assert!(
+            (sol.objective - obj).abs() <= 1e-9 * obj.abs().max(1.0),
+            "step {step}: revised {} vs dense {obj}",
+            sol.objective
+        );
+        seed = Some(basis);
+    }
+    assert!(warm_hits >= 4, "chain failed to warm start: {warm_hits}");
+}

@@ -1,38 +1,97 @@
-//! # demt-lp — dense two-phase primal simplex
+//! # demt-lp — revised simplex with warm starts
 //!
 //! The paper's minsum lower bound (§3.3) is the optimum of a relaxed
-//! interval-indexed linear program. No LP solver is in the sanctioned
-//! dependency set, so this crate implements one from scratch: a
-//! full-tableau two-phase primal simplex with Dantzig pricing, a Bland
-//! anti-cycling fallback, and explicit infeasible/unbounded detection.
+//! interval-indexed linear program, re-solved at every horizon of the
+//! `demt-bounds` sweep. No LP solver is in the sanctioned dependency
+//! set, so this crate implements one from scratch: a **revised primal
+//! simplex** over a compressed-sparse-column ([`CscMatrix`]) constraint
+//! matrix, with
 //!
-//! The target problems (a few hundred rows × a few thousand columns,
-//! mostly sparse covering/packing structure) are well within the dense
-//! tableau's comfort zone; property tests cross-check optima against
-//! brute-force vertex enumeration on small random programs.
+//! * an explicitly maintained [`Basis`] whose inverse is represented by
+//!   a sparse LU factorization plus an **eta file** of product-form
+//!   updates, refactorized periodically (every 64 pivots, or sooner on
+//!   a suspicious pivot);
+//! * Dantzig pricing with the Bland first-index fallback for
+//!   anti-cycling, and explicit infeasible/unbounded detection;
+//! * a **warm-start API** — [`solve_from`] seeds the solve with a
+//!   caller-supplied basis and returns the optimal basis alongside the
+//!   [`Solution`], so a sweep of nearby programs pays for phase 1 once.
+//!
+//! The dense full-tableau predecessor survives as a test-only module;
+//! a differential property suite keeps the two solvers agreeing to
+//! `1e-9` on random feasible, infeasible and degenerate programs.
+//!
+//! ## Cold and warm solves
 //!
 //! ```
-//! use demt_lp::{LinearProgram, Relation};
-//! // min 3x + y  s.t.  x + y ≥ 2,  x ≤ 1
-//! let mut lp = LinearProgram::minimize(vec![3.0, 1.0]);
-//! lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
-//! lp.constrain(vec![(0, 1.0)], Relation::Le, 1.0);
-//! let sol = lp.solve().unwrap();
-//! assert!((sol.objective - 2.0).abs() < 1e-9); // x = 0, y = 2
+//! use demt_lp::{solve_from, LinearProgram, Relation};
+//! // min x + 2y  s.t.  x + y ≥ 1, y ≤ 3
+//! let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+//! lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 1.0);
+//! lp.constrain(vec![(1, 1.0)], Relation::Le, 3.0);
+//!
+//! // Cold: two-phase solve, optimal basis returned for reuse.
+//! let (sol, basis) = lp.solve_with_basis().unwrap();
+//! assert!((sol.objective - 1.0).abs() < 1e-9); // x = 1, y = 0
+//! assert!(!sol.warm_started);
+//!
+//! // Warm: the same structure with a shifted right-hand side starts
+//! // from the previous optimum and prices out in O(few) iterations.
+//! let mut shifted = LinearProgram::minimize(vec![1.0, 2.0]);
+//! shifted.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 2.0);
+//! shifted.constrain(vec![(1, 1.0)], Relation::Le, 3.0);
+//! let (warm, _basis2) = solve_from(&shifted, &basis).unwrap();
+//! assert!(warm.warm_started);
+//! assert!((warm.objective - 2.0).abs() < 1e-9); // x = 2
 //! ```
+//!
+//! ## Warm-start semantics
+//!
+//! A seed basis is *validated, never trusted*: [`solve_from`] rejects a
+//! stale basis — wrong row count, out-of-range or duplicate columns,
+//! an [`Basis::ARTIFICIAL`] slot, a singular basis matrix — and
+//! silently falls back to the cold two-phase start. A valid basis
+//! whose basic point went infeasible (the normal state after a
+//! right-hand-side change) is repaired in place by a **dual simplex**
+//! phase before primal pricing resumes; only a failed repair falls
+//! back to phase 1. [`Solution::warm_started`] reports which path ran,
+//! and [`Solution::iterations`] / [`Solution::refactorizations`] make
+//! the cost of either path observable to callers (the `demt bound`
+//! CLI surfaces them as JSON).
+//!
+//! Basis column indices follow the standard-form layout documented on
+//! [`LinearProgram::slack_column`], which is stable across programs
+//! with the same row/variable structure — exactly what the horizon
+//! sweep in `demt-bounds` exploits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(test)]
+mod dense;
+#[cfg(test)]
+mod difftests;
 mod problem;
 mod simplex;
 
-pub use problem::{Constraint, LinearProgram, Relation};
-pub use simplex::{solve, LpError, Solution};
+pub use problem::{Constraint, CscMatrix, LinearProgram, Relation};
+pub use simplex::{solve, solve_from, solve_with_basis, Basis, LpError, Solution};
 
 impl LinearProgram {
-    /// Solves the program with the two-phase simplex ([`solve`]).
+    /// Solves the program from a cold two-phase start ([`solve`]).
     pub fn solve(&self) -> Result<Solution, LpError> {
         solve(self)
+    }
+
+    /// Solves from a cold start and returns the optimal basis too
+    /// ([`solve_with_basis`]).
+    pub fn solve_with_basis(&self) -> Result<(Solution, Basis), LpError> {
+        solve_with_basis(self)
+    }
+
+    /// Solves starting from `seed`, falling back to a cold start when
+    /// the seed is stale ([`solve_from`]).
+    pub fn solve_from(&self, seed: &Basis) -> Result<(Solution, Basis), LpError> {
+        solve_from(self, seed)
     }
 }

@@ -1,4 +1,6 @@
-//! Linear-program description: `min c·x` s.t. sparse rows, `x ≥ 0`.
+//! Linear-program description: `min c·x` s.t. sparse rows, `x ≥ 0`,
+//! plus the compressed-sparse-column ([`CscMatrix`]) view the revised
+//! simplex prices and factorizes against.
 
 /// Relation of one constraint row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +96,50 @@ impl LinearProgram {
         self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
+    /// Number of slack/surplus columns the standard form adds: one per
+    /// inequality row ([`Relation::Le`] or [`Relation::Ge`]).
+    pub fn num_slacks(&self) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| c.relation != Relation::Eq)
+            .count()
+    }
+
+    /// Standard-form column index of the slack (or surplus) variable of
+    /// constraint `row`, or `None` for an equality row.
+    ///
+    /// The solver's standard form lays columns out as
+    /// `[structural | slack/surplus | artificial]`: structural variables
+    /// keep their indices `0..num_vars()`, and each inequality row gets
+    /// one slack column, assigned in row order starting at `num_vars()`.
+    /// This layout is stable (it does not depend on right-hand-side
+    /// signs), so callers can craft warm-start bases against it — see
+    /// [`Basis`](crate::Basis).
+    pub fn slack_column(&self, row: usize) -> Option<usize> {
+        assert!(row < self.num_constraints(), "row {row} out of range");
+        if self.constraints[row].relation == Relation::Eq {
+            return None;
+        }
+        let before = self.constraints[..row]
+            .iter()
+            .filter(|c| c.relation != Relation::Eq)
+            .count();
+        Some(self.num_vars() + before)
+    }
+
+    /// The constraint matrix as a [`CscMatrix`] over the structural
+    /// columns (rows exactly as stated — no sign normalization, no
+    /// slacks; duplicate coefficients are summed).
+    pub fn csc(&self) -> CscMatrix {
+        let mut columns: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_vars()];
+        for (i, c) in self.constraints.iter().enumerate() {
+            for &(j, a) in &c.coeffs {
+                columns[j].push((i, a));
+            }
+        }
+        CscMatrix::from_columns(self.num_constraints(), columns)
+    }
+
     /// Checks primal feasibility of a candidate point to tolerance
     /// `tol` (used by tests for weak-duality arguments).
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
@@ -112,6 +158,94 @@ impl LinearProgram {
             }
         }
         true
+    }
+}
+
+/// A column-compressed (CSC) sparse matrix.
+///
+/// The revised simplex works column-wise — pricing takes `y·Aⱼ` per
+/// column, the basis factorization gathers the basic columns — so the
+/// constraint matrix is stored as contiguous `(row, value)` runs per
+/// column. Entries within a column are sorted by row and duplicates are
+/// summed at construction; exact zeros are dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds the matrix from per-column `(row, value)` triplet lists.
+    /// Duplicate rows within a column are summed; exact zeros dropped.
+    pub fn from_columns(rows: usize, columns: Vec<Vec<(usize, f64)>>) -> Self {
+        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for mut col in columns {
+            col.sort_by_key(|&(r, _)| r);
+            let mut k = 0;
+            while k < col.len() {
+                let (r, mut v) = col[k];
+                assert!(r < rows, "row index {r} out of range");
+                k += 1;
+                while k < col.len() && col[k].0 == r {
+                    v += col[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            rows,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column `j` as parallel `(row indices, values)` slices.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sparse dot product `y · Aⱼ` of a dense row-indexed vector with
+    /// column `j` (the pricing kernel).
+    #[inline]
+    pub fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        rows.iter().zip(vals).map(|(&r, &v)| y[r] * v).sum()
+    }
+
+    /// Adds column `j` into a dense row-indexed accumulator.
+    #[inline]
+    pub fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += v;
+        }
     }
 }
 
@@ -143,5 +277,50 @@ mod tests {
     fn rejects_bad_variable_index() {
         let mut lp = LinearProgram::minimize(vec![1.0]);
         lp.constrain(vec![(3, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn csc_sums_duplicates_and_sorts_rows() {
+        let m = CscMatrix::from_columns(
+            3,
+            vec![
+                vec![(2, 1.0), (0, 2.0), (2, 3.0)],
+                vec![],
+                vec![(1, 5.0), (1, -5.0)],
+            ],
+        );
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 3, 2));
+        assert_eq!(m.col(0), (&[0usize, 2][..], &[2.0, 4.0][..]));
+        assert_eq!(m.col(1), (&[][..], &[][..]));
+        // The exactly-cancelling duplicate is dropped.
+        assert_eq!(m.col(2), (&[][..], &[][..]));
+        assert_eq!(m.dot_col(0, &[1.0, 10.0, 100.0]), 402.0);
+        let mut acc = vec![0.0; 3];
+        m.scatter_col(0, &mut acc);
+        assert_eq!(acc, vec![2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn slack_columns_follow_row_order_skipping_equalities() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0)], Relation::Le, 4.0);
+        lp.constrain(vec![(1, 1.0)], Relation::Eq, 1.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(lp.num_slacks(), 2);
+        assert_eq!(lp.slack_column(0), Some(2));
+        assert_eq!(lp.slack_column(1), None);
+        assert_eq!(lp.slack_column(2), Some(3));
+    }
+
+    #[test]
+    fn csc_view_matches_rows() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        lp.constrain(vec![(0, 1.0), (1, -2.0)], Relation::Le, -3.0);
+        lp.constrain(vec![(1, 4.0)], Relation::Ge, 1.0);
+        let a = lp.csc();
+        assert_eq!((a.rows(), a.cols()), (2, 2));
+        // No sign normalization: row 0 keeps its stated coefficients.
+        assert_eq!(a.col(0), (&[0usize][..], &[1.0][..]));
+        assert_eq!(a.col(1), (&[0usize, 1][..], &[-2.0, 4.0][..]));
     }
 }

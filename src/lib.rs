@@ -17,9 +17,9 @@
 //! | [`workload`] | `demt-workload` | the four SPAA'04 workload families |
 //! | [`platform`] | `demt-platform` | schedules, criteria, validation, list engine, Gantt |
 //! | [`kernels`] | `demt-kernels` | knapsack DPs, chain packing, bisection |
-//! | [`lp`] | `demt-lp` | dense two-phase simplex |
+//! | [`lp`] | `demt-lp` | revised simplex with warm-start API (LU + eta-file basis) |
 //! | [`dual`] | `demt-dual` | dual-approximation makespan substrate & bound |
-//! | [`bounds`] | `demt-bounds` | minsum LP lower bound |
+//! | [`bounds`] | `demt-bounds` | minsum LP lower bound, warm-started horizon sweeps |
 //! | [`core`] | `demt-core` | the DEMT algorithm |
 //! | [`baselines`] | `demt-baselines` | Gang, Sequential, three Graham lists |
 //! | [`online`] | `demt-online` | on-line batch framework over release dates |
@@ -28,6 +28,12 @@
 //! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
 //! | [`frontend`] | `demt-frontend` | cluster front-end simulation: job streams, FCFS/EASY queues, SWF traces, response metrics |
 //! | [`divisible`] | `demt-divisible` | divisible-load & preemptive scheduling: McNaughton, Smith gangs, moldable bridging |
+//!
+//! `ARCHITECTURE.md` at the repository root maps the paper's structure
+//! (dual approximation, shelf partition, Graham lists, LP lower bounds,
+//! experiment figures) onto these crates, with the workspace layering
+//! and the `Instance → Scheduler → ScheduleReport → repro` data-flow
+//! diagram — read it first when navigating the codebase.
 //!
 //! ## Quickstart
 //!
@@ -88,7 +94,10 @@ pub mod prelude {
         BaselineKind, GangScheduler, ListSafScheduler, ListShelfScheduler, ListWlptfScheduler,
         SequentialScheduler,
     };
-    pub use demt_bounds::{instance_bounds, minsum_lower_bound, BoundConfig, InstanceBounds};
+    pub use demt_bounds::{
+        assemble_minsum_lp, instance_bounds, minsum_bounds_for_horizons,
+        minsum_bounds_for_horizons_on, minsum_lower_bound, BoundConfig, InstanceBounds, MinsumLp,
+    };
     pub use demt_core::{
         demt_schedule, demt_schedule_with_dual, Compaction, DemtConfig, DemtResult, DemtScheduler,
         LocalOrder,
