@@ -1,0 +1,38 @@
+//! Old-scan vs skyline list engine at m ∈ {10², 10³, 10⁴}.
+//!
+//! The scan reference re-sorts the free list (`O(m log m)`) and rescans
+//! the task list (`O(n)`) at every event; the skyline engine replaces
+//! both with event-ordered structures (see `demt-platform::list`'s
+//! complexity table). The gap widens with `m` — the acceptance bar for
+//! the skyline rework is ≥ 5× on the `m10000` pairs below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_platform::{bench_grid, list_schedule, list_schedule_scan, ListPolicy};
+use std::hint::black_box;
+
+fn engines(c: &mut Criterion) {
+    for (policy, label) in [
+        (ListPolicy::Greedy, "greedy"),
+        (ListPolicy::Ordered, "ordered"),
+    ] {
+        let mut group = c.benchmark_group(format!("list_{label}"));
+        group.sample_size(10);
+        for m in [100usize, 1000, 10_000] {
+            let tasks = bench_grid(2000, m, 7);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("skyline_m{m}")),
+                &tasks,
+                |b, tasks| b.iter(|| black_box(list_schedule(m, tasks, policy).makespan())),
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("scan_m{m}")),
+                &tasks,
+                |b, tasks| b.iter(|| black_box(list_schedule_scan(m, tasks, policy).makespan())),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

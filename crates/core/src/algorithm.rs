@@ -95,6 +95,10 @@ pub fn demt_schedule_with_dual(
     if cfg.compaction != Compaction::None {
         consider(pull_earlier(&raw, None), &mut best_crit, &mut best);
     }
+    // The list compactions below run the shared skyline list engine
+    // (`demt_platform::list_schedule`): each shuffle costs
+    // O((n + Σkᵢ)·log(n·m)), not O(n·(n + m log m)), so ListShuffle
+    // stays affordable at large m.
     if matches!(cfg.compaction, Compaction::List | Compaction::ListShuffle) {
         let order: Vec<usize> = (0..plan.batches.len()).collect();
         let tasks = flatten(inst, &plan, &order, cfg.local_order);

@@ -62,6 +62,67 @@ pub struct OnlineResult {
     pub batches: Vec<BatchTrace>,
 }
 
+/// Rejected job feed, reported by [`try_online_batch_schedule`].
+///
+/// The on-line feed is a public boundary — job sizes and release dates
+/// arrive from outside (traces, CLI front-ends) — so malformed input
+/// surfaces as a typed error; the [`online_batch_schedule`] wrapper
+/// keeps the panicking contract for internally-generated feeds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// Job ids must be dense `0..n` in feed order.
+    NonDenseIds {
+        /// Position in the feed.
+        index: usize,
+        /// The id found there.
+        found: TaskId,
+    },
+    /// A release date is negative, infinite or NaN.
+    BadRelease {
+        /// Offending job.
+        task: TaskId,
+        /// The rejected release date.
+        release: f64,
+    },
+    /// A task's processing-time vector does not cover the machine.
+    MachineMismatch {
+        /// Offending job.
+        task: TaskId,
+        /// Processors its vector covers.
+        covers: usize,
+        /// Machine size `m`.
+        procs: usize,
+    },
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            OnlineError::NonDenseIds { index, found } => {
+                write!(
+                    f,
+                    "job ids must be dense 0..n: found {found} at position {index}"
+                )
+            }
+            OnlineError::BadRelease { task, release } => {
+                write!(f, "{task}: bad release date ({release})")
+            }
+            OnlineError::MachineMismatch {
+                task,
+                covers,
+                procs,
+            } => {
+                write!(
+                    f,
+                    "{task}: task vector covers {covers} processors, machine has {procs}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
 /// Runs the Shmoys–Wein–Williamson batch framework on `m` processors:
 /// while jobs remain, gather everything released by the current instant
 /// (fast-forwarding through idle gaps), hand the sub-instance to the
@@ -72,21 +133,54 @@ pub struct OnlineResult {
 /// needs the dual approximation computes it once per batch (each batch
 /// is a distinct sub-instance).
 ///
-/// Panics if job ids are not dense `0..n`, if any release is negative or
-/// non-finite, or if a task's vector does not cover `m` processors.
+/// Rejects a malformed feed — non-dense job ids, a negative or
+/// non-finite release, a task vector not covering `m` processors — with
+/// a typed [`OnlineError`].
+pub fn try_online_batch_schedule(
+    m: usize,
+    jobs: &[OnlineJob],
+    scheduler: &dyn Scheduler,
+) -> Result<OnlineResult, OnlineError> {
+    for (i, j) in jobs.iter().enumerate() {
+        if j.task.id().index() != i {
+            return Err(OnlineError::NonDenseIds {
+                index: i,
+                found: j.task.id(),
+            });
+        }
+        if !(j.release >= 0.0 && j.release.is_finite()) {
+            return Err(OnlineError::BadRelease {
+                task: j.task.id(),
+                release: j.release,
+            });
+        }
+        if j.task.max_procs() != m {
+            return Err(OnlineError::MachineMismatch {
+                task: j.task.id(),
+                covers: j.task.max_procs(),
+                procs: m,
+            });
+        }
+    }
+    Ok(batch_schedule_validated(m, jobs, scheduler))
+}
+
+/// Panicking wrapper around [`try_online_batch_schedule`] for feeds
+/// whose shape is an internal invariant.
 pub fn online_batch_schedule(
     m: usize,
     jobs: &[OnlineJob],
     scheduler: &dyn Scheduler,
 ) -> OnlineResult {
-    for (i, j) in jobs.iter().enumerate() {
-        assert_eq!(j.task.id().index(), i, "job ids must be dense 0..n");
-        assert!(
-            j.release >= 0.0 && j.release.is_finite(),
-            "bad release date"
-        );
-        assert_eq!(j.task.max_procs(), m, "task vector must cover m processors");
-    }
+    try_online_batch_schedule(m, jobs, scheduler).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The batch loop proper, on a feed that already passed validation.
+fn batch_schedule_validated(
+    m: usize,
+    jobs: &[OnlineJob],
+    scheduler: &dyn Scheduler,
+) -> OnlineResult {
     let full = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
         .expect("dense ids validated above");
 
@@ -275,6 +369,47 @@ mod tests {
         let on = online_batch_schedule(2, &jobs, &demt());
         assert_eq!(on.batches.len(), 2);
         assert!((on.batches[1].start - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_feeds_are_rejected_with_typed_errors() {
+        let task = |id: usize| MoldableTask::sequential(TaskId(id), 1.0, 1.0, 2).unwrap();
+        // Non-dense ids.
+        let jobs = vec![OnlineJob {
+            task: task(3),
+            release: 0.0,
+        }];
+        assert!(matches!(
+            try_online_batch_schedule(2, &jobs, &demt()),
+            Err(OnlineError::NonDenseIds {
+                index: 0,
+                found: TaskId(3)
+            })
+        ));
+        // Bad release.
+        let jobs = vec![OnlineJob {
+            task: task(0),
+            release: -1.0,
+        }];
+        assert!(matches!(
+            try_online_batch_schedule(2, &jobs, &demt()),
+            Err(OnlineError::BadRelease { .. })
+        ));
+        // Machine mismatch: the vector covers 2 processors, not 4.
+        let jobs = vec![OnlineJob {
+            task: task(0),
+            release: 0.0,
+        }];
+        assert!(matches!(
+            try_online_batch_schedule(4, &jobs, &demt()),
+            Err(OnlineError::MachineMismatch {
+                covers: 2,
+                procs: 4,
+                ..
+            })
+        ));
+        // A clean feed sails through the same entry point.
+        assert!(try_online_batch_schedule(2, &[], &demt()).is_ok());
     }
 
     #[test]

@@ -10,8 +10,37 @@
 //! their allotment fits — the conservative-backfilling discipline
 //! (earlier list entries are placed first and later entries can never
 //! delay them).
+//!
+//! ## Skyline pre-filtering
+//!
+//! The exact fit test must inspect per-processor profiles (it needs
+//! `alloc` *specific* processors idle for the whole window), which
+//! costs `O(m · busy)` per candidate start. A [`Skyline`] of aggregate
+//! busy counts now runs in front of it: a window where the instantaneous
+//! free *count* ever drops below `alloc` can never pass the identity
+//! check, so [`Skyline::earliest_fit`] skips the hopeless prefix of the
+//! candidate list outright and [`Skyline::min_free_in`] discards most
+//! surviving candidates in `O(log E)` before the expensive scan runs.
+//! Busy windows enter the skyline shrunk by the identity check's own
+//! `1e-12` tolerance on each side, which keeps the filter *sound*: it
+//! only rejects candidates the exact check would also reject, so
+//! placements are exactly what the unfiltered scan produced.
 
-use crate::{ListTask, Placement, Schedule};
+use crate::{ListTask, Placement, Schedule, Skyline};
+
+/// Absolute slack mirrored from `Profile::free_during`'s `1e-12`
+/// tolerance: see the module docs on skyline pre-filtering.
+const TOL: f64 = 1e-12;
+
+/// Commits `[start, end)` shrunk by [`TOL`] on each side (skipping
+/// windows the shrink degenerates) so the count skyline never calls
+/// busy what the tolerant per-processor check calls free.
+fn commit_shrunk(sky: &mut Skyline, start: f64, end: f64, k: usize) {
+    let (a, b) = (start + TOL, end - TOL);
+    if b > a {
+        sky.commit(a, b - a, k);
+    }
+}
 
 /// A block of processors withheld from the scheduler for a time window.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,9 +89,13 @@ impl Profile {
 /// Each task starts at the earliest instant ≥ its ready time where
 /// `alloc` processors are simultaneously idle for its whole duration,
 /// holes included. Panics on malformed reservations (processor out of
-/// range, overlapping windows on one processor, non-positive duration).
+/// range, overlapping windows on one processor, non-positive duration)
+/// and on malformed tasks (allotment, duration or ready time out of
+/// range) — inputs here are internal invariants, unlike
+/// [`crate::try_list_schedule`]'s.
 pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservation]) -> Schedule {
     let mut profiles: Vec<Profile> = vec![Profile::default(); m];
+    let mut sky = Skyline::new(m);
     for r in reservations {
         assert!(
             r.duration > 0.0 && r.start >= 0.0,
@@ -80,6 +113,7 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
             );
             profiles[q as usize].occupy(r.start, r.end());
         }
+        commit_shrunk(&mut sky, r.start, r.end(), r.procs.len());
     }
 
     let mut schedule = Schedule::new(m);
@@ -87,6 +121,16 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
         assert!(
             t.alloc >= 1 && t.alloc <= m,
             "{}: allotment out of range",
+            t.id
+        );
+        assert!(
+            t.duration.is_finite() && t.duration > 0.0,
+            "{}: bad duration",
+            t.id
+        );
+        assert!(
+            t.ready.is_finite() && t.ready >= 0.0,
+            "{}: bad ready time",
             t.id
         );
         // Candidate starts: the ready time plus every busy-interval end
@@ -104,9 +148,22 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
         candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
         candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
+        // Skyline pre-filter: jump over the prefix where the free
+        // *count* can never reach `alloc` (sound — see module docs),
+        // then discard count-infeasible candidates before paying for
+        // the exact per-processor scan. Candidates may sit up to 1e-12
+        // before the ready time (the dedup slack), so the fit query
+        // starts there too.
+        let fit_from = (t.ready - TOL).max(0.0);
+        let fast = sky.earliest_fit(fit_from, t.duration, t.alloc);
+        let viable = candidates.partition_point(|&s| s < fast);
+
         let mut placed = false;
-        for &s in &candidates {
+        for &s in &candidates[viable..] {
             let e = s + t.duration;
+            if sky.min_free_in(s, e) < t.alloc {
+                continue;
+            }
             let free: Vec<u32> = (0..m as u32)
                 .filter(|&q| profiles[q as usize].free_during(s, e))
                 .collect();
@@ -115,6 +172,7 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
                 for &q in &procs {
                     profiles[q as usize].occupy(s, e);
                 }
+                commit_shrunk(&mut sky, s, e, t.alloc);
                 schedule.push(Placement {
                     task: t.id,
                     start: s,

@@ -175,6 +175,44 @@ pub fn validate_with_releases(
     Ok(())
 }
 
+/// Instance-free structural audit: every processor set is sorted,
+/// unique and within range, and no two placements overlap on a
+/// processor. This is the check available when a schedule has no
+/// backing [`Instance`] — raw [`crate::ListTask`] lists in the skyline
+/// differential suite, CLI grids — where the full [`validate`] cannot
+/// run (durations and completeness need the instance).
+pub fn validate_no_overlap(schedule: &Schedule) -> Result<(), ValidationError> {
+    let m = schedule.procs();
+    let mut proc_intervals: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); m];
+    for p in schedule.placements() {
+        if p.procs.is_empty() {
+            return Err(ValidationError::EmptyAllotment(p.task));
+        }
+        let sorted_unique = p.procs.windows(2).all(|w| w[0] < w[1]);
+        if !sorted_unique || p.procs.last().map(|&x| x as usize >= m).unwrap_or(false) {
+            return Err(ValidationError::BadProcessorSet(p.task));
+        }
+        for &q in &p.procs {
+            proc_intervals[q as usize].push((p.start, p.completion(), p.task));
+        }
+    }
+    for (q, intervals) in proc_intervals.iter_mut().enumerate() {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            let (_, end_a, task_a) = w[0];
+            let (start_b, _, task_b) = w[1];
+            if start_b < end_a - REL_EPS * end_a.abs().max(1.0) {
+                return Err(ValidationError::ProcessorConflict {
+                    proc: q as u32,
+                    a: task_a,
+                    b: task_b,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Panicking wrapper for tests and examples.
 pub fn assert_valid(instance: &Instance, schedule: &Schedule) {
     if let Err(e) = validate(instance, schedule) {
@@ -320,6 +358,43 @@ mod tests {
         assert_eq!(
             validate(&instance(), &s),
             Err(ValidationError::EmptyAllotment(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn instance_free_audit_catches_overlap_only() {
+        // A schedule that is structurally sound but incomplete passes
+        // the instance-free audit (no MissingTask without an instance)…
+        let mut s = Schedule::new(3);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 2.0,
+            procs: vec![0, 1],
+        });
+        validate_no_overlap(&s).unwrap();
+        // …while a forced overlap is still caught.
+        s.push(Placement {
+            task: TaskId(1),
+            start: 1.0,
+            duration: 2.0,
+            procs: vec![1],
+        });
+        assert!(matches!(
+            validate_no_overlap(&s),
+            Err(ValidationError::ProcessorConflict { proc: 1, .. })
+        ));
+        // …as are malformed processor sets.
+        let mut s = Schedule::new(2);
+        s.push(Placement {
+            task: TaskId(0),
+            start: 0.0,
+            duration: 1.0,
+            procs: vec![5],
+        });
+        assert_eq!(
+            validate_no_overlap(&s),
+            Err(ValidationError::BadProcessorSet(TaskId(0)))
         );
     }
 

@@ -27,6 +27,7 @@ fn main() {
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
         "schedule" => schedule_cmd(&opts),
+        "listbench" => listbench_cmd(&opts),
         "algorithms" => algorithms_cmd(),
         "validate" => validate_cmd(&opts),
         "bound" => bound_cmd(&opts),
@@ -170,6 +171,51 @@ fn algorithms_cmd() {
     for s in registry().all() {
         println!("{:<12} {}", s.name(), s.legend());
     }
+}
+
+/// `demt listbench` — the CI determinism + perf guard for the list
+/// engine: schedule the shared `demt_platform::bench_grid` (the same
+/// grid `benches/platform.rs` measures) with the skyline engine or the
+/// retained scan reference, print the schedule JSON on stdout (the two
+/// engines must produce identical bytes) and timing metrics on stderr
+/// (where the skyline speedup lands in the CI logs).
+fn listbench_cmd(opts: &Opts) {
+    use demt::platform::{bench_grid, list_schedule_scan, try_list_schedule, ListPolicy};
+    let m = opts.usize("procs", 1000);
+    let n = opts.usize("tasks", 2000);
+    let seed = opts.u64("seed", 0);
+    let policy = match opts.get("policy").unwrap_or("greedy") {
+        "greedy" => ListPolicy::Greedy,
+        "ordered" => ListPolicy::Ordered,
+        other => die(&format!("bad --policy {other} (greedy|ordered)")),
+    };
+    let engine = opts.get("engine").unwrap_or("skyline");
+    let tasks = bench_grid(n, m, seed);
+    let start = std::time::Instant::now();
+    let schedule = match engine {
+        "skyline" => try_list_schedule(m, &tasks, policy).unwrap_or_else(|e| die(&e.to_string())),
+        "scan" => list_schedule_scan(m, &tasks, policy),
+        other => die(&format!("bad --engine {other} (skyline|scan)")),
+    };
+    let wall = start.elapsed().as_secs_f64();
+    demt::platform::validate_no_overlap(&schedule)
+        .unwrap_or_else(|e| die(&format!("internal: overlapping schedule: {e}")));
+    eprintln!(
+        "{}",
+        serde_json::json!({
+            "engine": engine,
+            "policy": if policy == ListPolicy::Greedy { "greedy" } else { "ordered" },
+            "tasks": n,
+            "procs": m,
+            "wall_seconds": wall,
+            "makespan": schedule.makespan(),
+            "placements": schedule.len(),
+        })
+    );
+    println!(
+        "{}",
+        serde_json::to_string(&schedule).expect("serializable")
+    );
 }
 
 fn validate_cmd(opts: &Opts) {
@@ -405,6 +451,11 @@ COMMANDS
             `demt algorithms`)
   algorithms
             list the scheduler registry (name and figure legend)
+  listbench --procs M --tasks N [--seed S] [--policy greedy|ordered]
+            [--engine skyline|scan]
+            schedule a deterministic grid with the chosen list engine;
+            schedule JSON on stdout (byte-identical across engines),
+            timing metrics on stderr — the CI determinism + perf guard
   validate  --instance FILE
             read a schedule from stdin, audit it against the instance
   bound     [--sweep K] [--workers W]
