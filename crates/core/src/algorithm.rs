@@ -190,10 +190,10 @@ fn flatten(
             LocalOrder::WeightOverArea => entries.sort_by(|a, b| {
                 let ra = a.weight / area(a).max(f64::MIN_POSITIVE);
                 let rb = b.weight / area(b).max(f64::MIN_POSITIVE);
-                rb.partial_cmp(&ra).unwrap()
+                rb.total_cmp(&ra)
             }),
-            LocalOrder::Weight => entries.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap()),
-            LocalOrder::Area => entries.sort_by(|a, b| area(a).partial_cmp(&area(b)).unwrap()),
+            LocalOrder::Weight => entries.sort_by(|a, b| b.weight.total_cmp(&a.weight)),
+            LocalOrder::Area => entries.sort_by(|a, b| area(a).total_cmp(&area(b))),
             LocalOrder::AsSelected => {}
         }
         for e in entries {

@@ -113,6 +113,7 @@ pub fn build_batches(inst: &Instance, cfg: &DemtConfig, cmax_estimate: f64) -> B
                         weight: t.weight(),
                     });
                 } else {
+                    // demt-lint: allow(P1, eligibility above means min_time ≤ t_j so an allotment within t_j exists)
                     let alloc = t.min_alloc_within(t_j).expect("eligible");
                     singles.push(BatchEntry {
                         tasks: vec![id],
@@ -131,6 +132,7 @@ pub fn build_batches(inst: &Instance, cfg: &DemtConfig, cmax_estimate: f64) -> B
         } else {
             for &id in &eligible {
                 let t = inst.task(id);
+                // demt-lint: allow(P1, eligibility above means min_time ≤ t_j so an allotment within t_j exists)
                 let alloc = t.min_alloc_within(t_j).expect("eligible");
                 singles.push(BatchEntry {
                     tasks: vec![id],

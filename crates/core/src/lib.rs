@@ -31,7 +31,6 @@
 //! assert!(result.criteria.makespan >= result.cmax_lower_bound);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod algorithm;

@@ -18,7 +18,6 @@
 //! All sampling is deterministic given a seed: the workspace convention
 //! is `StdRng::seed_from_u64(seed)` built through [`seeded_rng`].
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

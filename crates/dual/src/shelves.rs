@@ -69,6 +69,7 @@ pub fn build_shelves(inst: &Instance, lambda: f64) -> ShelfBuild {
         }
         let (k1, a1) = t
             .min_area_alloc_within(lambda)
+            // demt-lint: allow(P1, caller only invokes build at a λ the feasibility oracle accepted)
             .expect("fit condition holds at an accepted λ");
         let shelf2 = t.min_area_alloc_within(half);
         big_ids.push(t.id());
@@ -80,6 +81,7 @@ pub fn build_shelves(inst: &Instance, lambda: f64) -> ShelfBuild {
     }
 
     let partition = min_area_partition(&items, inst.procs())
+        // demt-lint: allow(P1, the accepted λ satisfies the midpoint processor condition so forced shelf-1 tasks fit)
         .expect("midpoint condition guarantees forced tasks fit");
     for (pos, &id) in big_ids.iter().enumerate() {
         match partition.choice[pos] {
@@ -87,6 +89,7 @@ pub fn build_shelves(inst: &Instance, lambda: f64) -> ShelfBuild {
                 let (k1, _) = inst
                     .task(id)
                     .min_area_alloc_within(lambda)
+                    // demt-lint: allow(P1, shelf-1 membership re-queries the same fit that succeeded when items was built)
                     .expect("checked");
                 allotment[id.index()] = k1;
                 class[id.index()] = ShelfClass::Long;
@@ -95,6 +98,7 @@ pub fn build_shelves(inst: &Instance, lambda: f64) -> ShelfBuild {
                 let (k2, _) = inst
                     .task(id)
                     .min_area_alloc_within(half)
+                    // demt-lint: allow(P1, Shelf2 is only chosen for tasks whose shelf2 fit was Some when items was built)
                     .expect("choice implies fit");
                 allotment[id.index()] = k2;
                 class[id.index()] = ShelfClass::Short;
@@ -116,7 +120,7 @@ pub fn build_shelves(inst: &Instance, lambda: f64) -> ShelfBuild {
             .then_with(|| {
                 let da = inst.task(a).time(allotment[a.index()]);
                 let db = inst.task(b).time(allotment[b.index()]);
-                db.partial_cmp(&da).unwrap()
+                db.total_cmp(&da)
             })
             .then(a.cmp(&b))
     });

@@ -34,7 +34,6 @@
 //! processors free. Pruning: a partial-cost + optimistic-remainder
 //! lower bound against the incumbent.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use demt_model::{Instance, TaskId};
@@ -148,7 +147,7 @@ impl<'a> Searcher<'a> {
         // Candidate starts: 0 and every availability time, deduplicated,
         // each ≥ the frontier (placement in non-decreasing start order).
         let mut starts: Vec<f64> = avail.iter().copied().chain(std::iter::once(0.0)).collect();
-        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        starts.sort_by(|a, b| a.total_cmp(b));
         starts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         starts.retain(|&s| s >= frontier - 1e-12);
 

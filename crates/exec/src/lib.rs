@@ -50,7 +50,6 @@
 //! assert_eq!(sum, 0.1f64 * 2.0 + 0.2 * 2.0 + 0.3 * 2.0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod pool;

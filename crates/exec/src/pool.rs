@@ -97,10 +97,12 @@ impl<'env> Shared<'env> {
         } else {
             (available / slots).clamp(1, available)
         };
+        // demt-lint: allow(P1, available > 0 was checked under the same injector lock)
         let job = injector.pop_front().expect("available > 0");
         if batch > 1 {
             let mut own = lock(&self.deques[idx]);
             for _ in 1..batch {
+                // demt-lint: allow(P1, batch ≤ available so the injector still holds these jobs under the held lock)
                 own.push_back(injector.pop_front().expect("within len"));
             }
             drop(own);
@@ -315,6 +317,7 @@ impl Pool {
             .map(|m| {
                 m.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
+                    // demt-lint: allow(P1, the scope joins every worker so each result slot was written exactly once)
                     .expect("scope ran every job")
             })
             .collect()

@@ -83,8 +83,7 @@ pub fn queue_schedule_ordered(
                 jobs[b]
                     .task
                     .weight()
-                    .partial_cmp(&jobs[a].task.weight())
-                    .unwrap()
+                    .total_cmp(&jobs[a].task.weight())
                     .then(a.cmp(&b))
             });
         }
@@ -104,7 +103,7 @@ pub fn queue_schedule_ordered(
                 let need = jobs[head].rigid_procs - free.len();
                 let mut by_completion: Vec<(f64, usize)> =
                     running.iter().map(|(c, procs)| (*c, procs.len())).collect();
-                by_completion.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                by_completion.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let mut cum = 0usize;
                 let mut t_r = f64::INFINITY;
                 for &(c, k) in &by_completion {

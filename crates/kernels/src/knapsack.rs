@@ -175,6 +175,7 @@ pub fn min_area_partition(items: &[ShelfItem], capacity: usize) -> Option<ShelfP
         .map(|it| it.shelf2.map(|(_, a)| a).unwrap_or(it.area_shelf1))
         .sum();
     for (oi, &(_, it)) in optional.iter().enumerate() {
+        // demt-lint: allow(P1, optional was filtered to items with shelf2.is_some())
         let (_, a2) = it.shelf2.expect("optional items have a shelf-2 option");
         let delta = it.area_shelf1 - a2; // extra area if moved to shelf 1
         if it.procs_shelf1 > free_cap {
@@ -216,6 +217,7 @@ pub fn min_area_partition(items: &[ShelfItem], capacity: usize) -> Option<ShelfP
     for (i, it) in items.iter().enumerate() {
         match choice[i] {
             ShelfChoice::Shelf1 => procs_shelf1 += it.procs_shelf1,
+            // demt-lint: allow(P1, Shelf2 is only ever chosen for items carrying a shelf-2 option)
             ShelfChoice::Shelf2 => procs_shelf2 += it.shelf2.expect("choice implies option").0,
         }
     }

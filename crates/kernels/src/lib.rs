@@ -15,7 +15,6 @@
 //! A `proptest` suite (`tests/` of this crate) cross-checks the DPs
 //! against brute force on exhaustive small instances.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bisect;

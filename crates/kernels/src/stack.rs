@@ -48,9 +48,8 @@ pub fn pack_chains<H: Copy>(items: &[StackItem<H>], max_len: f64) -> Vec<Chain<H
     order.sort_by(|&a, &b| {
         items[b]
             .weight
-            .partial_cmp(&items[a].weight)
-            .unwrap()
-            .then(items[b].len.partial_cmp(&items[a].len).unwrap())
+            .total_cmp(&items[a].weight)
+            .then(items[b].len.total_cmp(&items[a].len))
     });
     let mut chains: Vec<Chain<H>> = Vec::new();
     for idx in order {

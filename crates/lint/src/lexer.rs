@@ -1,0 +1,625 @@
+//! A hand-rolled Rust lexer: source text → a flat token stream plus the
+//! `// demt-lint:` control comments.
+//!
+//! This is *not* a full Rust parser (the workspace has no registry
+//! access, so `syn` is out — the same vendored-stand-in discipline as
+//! PR 1). The rule engine only needs a faithful token stream: comments,
+//! strings and char literals must never leak tokens, float literals
+//! must be recognizable, and `==`/`!=`/`::`/`.` must arrive as single
+//! punctuation tokens. Everything here is panic-free by construction —
+//! the linter lints itself.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Integer literal (including tuple indices after `.`).
+    Int,
+    /// Float literal (`1.0`, `2.`, `1e-9`, `3f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Verbatim text (for literals: a placeholder, the rules never
+    /// inspect literal contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// A `// demt-lint: allow(RULE, reason…)` control comment.
+///
+/// `rule`/`reason` are `None` when that part is missing or unparsable;
+/// the rule engine turns such directives into `A1` diagnostics instead
+/// of honouring them.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule id inside `allow(…)`, if one parsed.
+    pub rule: Option<String>,
+    /// The (non-empty, trimmed) reason string, if one parsed.
+    pub reason: Option<String>,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All `demt-lint:` control comments, valid or not.
+    pub directives: Vec<Directive>,
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// correct (`..=` before `..`, `<<=` before `<<`).
+const OPS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const OPS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Never fails: unrecognizable bytes become
+/// single-character punctuation tokens, unterminated literals run to
+/// end of file — good enough for linting, and total by construction.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if is_ident_start(c) {
+                self.ident_or_literal_prefix(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '"' {
+                self.string();
+                self.push(TokenKind::Str, "\"…\"".to_string(), line, col);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if matches!(c, '(' | '[' | '{') {
+                self.bump();
+                self.push(TokenKind::Open, c.to_string(), line, col);
+            } else if matches!(c, ')' | ']' | '}') {
+                self.bump();
+                self.push(TokenKind::Close, c.to_string(), line, col);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Directives live in plain `//` comments only: doc comments
+        // (`///`, `//!`) mention the directive syntax in prose.
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        if !doc {
+            if let Some(at) = text.find("demt-lint:") {
+                let rest = &text[at + "demt-lint:".len()..];
+                self.out.directives.push(parse_directive(rest, line));
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // `/*` consumed below; block comments nest in Rust.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Identifier — unless it is the `r"…"`/`b"…"`/`br#"…"#` prefix of
+    /// a string/byte literal, which must be swallowed as a literal.
+    fn ident_or_literal_prefix(&mut self, line: u32, col: u32) {
+        let c = self.peek(0).unwrap_or(' ');
+        let next = self.peek(1);
+        let next2 = self.peek(2);
+        let raw_str = c == 'r' && matches!(next, Some('"') | Some('#'));
+        let byte_raw = c == 'b' && next == Some('r') && matches!(next2, Some('"') | Some('#'));
+        let byte_char = c == 'b' && next == Some('\'');
+        if byte_char {
+            self.bump(); // b
+            self.quote(line, col);
+            return;
+        }
+        if raw_str || byte_raw {
+            self.bump(); // r or b
+            if byte_raw {
+                self.bump(); // r
+            }
+            if self.raw_string() {
+                self.push(TokenKind::Str, "r\"…\"".to_string(), line, col);
+                return;
+            }
+            // Not actually a raw string (e.g. `r#ident`): fall through
+            // and lex the rest as an identifier.
+            let mut text = c.to_string();
+            if byte_raw {
+                text.push('r');
+            }
+            while let Some(n) = self.peek(0) {
+                if is_ident_continue(n) {
+                    text.push(n);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Ident, text, line, col);
+            return;
+        }
+        if c == 'b' && next == Some('"') {
+            self.bump(); // b
+            self.string();
+            self.push(TokenKind::Str, "b\"…\"".to_string(), line, col);
+            return;
+        }
+        let mut text = String::new();
+        while let Some(n) = self.peek(0) {
+            if is_ident_continue(n) {
+                text.push(n);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    /// At a `"`-or-`#` position after an `r`/`br` prefix: tries to lex a
+    /// raw string. Returns false (consuming nothing) if the `#`s are not
+    /// followed by `"` — then it was `r#ident` raw-identifier syntax.
+    fn raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(); // the #s and the opening quote
+        }
+        // Scan for `"` followed by `hashes` #s.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return true;
+            }
+        }
+        true // unterminated: ran to EOF, still consumed as a literal
+    }
+
+    /// Consumes a `"…"` string (opening quote at the cursor).
+    fn string(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// At a `'`: char literal or lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some(c) if is_ident_start(c) && self.peek(1) != Some('\'') => {
+                // Lifetime: 'a, '_, 'static.
+                let mut text = String::from("'");
+                while let Some(n) = self.peek(0) {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line, col);
+            }
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // escaped char
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, "'…'".to_string(), line, col);
+            }
+            Some(_) => {
+                // Plain char literal 'x' (x may be any single char).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, "'…'".to_string(), line, col);
+            }
+            None => self.push(TokenKind::Punct, "'".to_string(), line, col),
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        // Tuple indices (`pair.0`, `t.0.1`) must stay integers: after a
+        // `.` punct, digits are consumed bare with no float forms.
+        let after_dot = matches!(
+            self.out.tokens.last(),
+            Some(t) if t.kind == TokenKind::Punct && t.text == "."
+        );
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            // Radix literal: 0x1F_u8 etc. Always an integer.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !after_dot {
+            // Fractional part: a `.` not followed by another `.` (range)
+            // or an identifier (method call / tuple field).
+            if self.peek(0) == Some('.') {
+                let after = self.peek(1);
+                let fractional = match after {
+                    Some(c) => c.is_ascii_digit() || !(is_ident_start(c) || c == '.'),
+                    None => true,
+                };
+                if fractional {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let (sign, digit) = (self.peek(1), self.peek(2));
+                let signed = matches!(sign, Some('+') | Some('-'))
+                    && matches!(digit, Some(d) if d.is_ascii_digit());
+                let bare = matches!(sign, Some(d) if d.is_ascii_digit());
+                if signed || bare {
+                    is_float = true;
+                    text.push(self.bump().unwrap_or('e'));
+                    if signed {
+                        text.push(self.bump().unwrap_or('+'));
+                    }
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Suffix (1u32, 2.5f64, 3f32).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        let grab =
+            |lexer: &Lexer, n: usize| -> String { (0..n).filter_map(|k| lexer.peek(k)).collect() };
+        let three = grab(self, 3);
+        if OPS3.contains(&three.as_str()) {
+            for _ in 0..3 {
+                self.bump();
+            }
+            self.push(TokenKind::Punct, three, line, col);
+            return;
+        }
+        let two = grab(self, 2);
+        if OPS2.contains(&two.as_str()) {
+            for _ in 0..2 {
+                self.bump();
+            }
+            self.push(TokenKind::Punct, two, line, col);
+            return;
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line, col);
+        }
+    }
+}
+
+/// Parses the text after `demt-lint:` in a line comment. Expected
+/// grammar: `allow(RULE, reason…)` — the reason runs to the final `)`
+/// and may itself contain parentheses or commas.
+fn parse_directive(rest: &str, line: u32) -> Directive {
+    let rest = rest.trim();
+    let body = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]));
+    let Some(body) = body else {
+        return Directive {
+            line,
+            rule: None,
+            reason: None,
+        };
+    };
+    let (rule, reason) = match body.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (body.trim(), ""),
+    };
+    Directive {
+        line,
+        rule: (!rule.is_empty()).then(|| rule.to_string()),
+        reason: (!reason.is_empty()).then(|| reason.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = texts("let x = 1.0; let y = 2; for i in 0..n {} let e = 1e-9; let t = p.0;");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e-9"]);
+        // `0..n` keeps 0 an int, `p.0` keeps the tuple index an int.
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["2", "0", "0"]);
+    }
+
+    #[test]
+    fn float_suffix_and_trailing_dot() {
+        let toks = texts("a(3f64, 4., 5u8)");
+        let kinds: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Ident,
+                TokenKind::Open,
+                TokenKind::Float,
+                TokenKind::Punct,
+                TokenKind::Float,
+                TokenKind::Punct,
+                TokenKind::Int,
+                TokenKind::Close,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_hide_contents() {
+        let toks = texts(r#"let s = "unwrap() == 1.0"; let c = '"'; let l: &'static str = r#s;"#);
+        assert!(toks
+            .iter()
+            .all(|(_, t)| !t.contains("unwrap") && !t.contains("1.0")));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let toks = texts("r#\"panic!(\"x\")\"# /* outer /* panic!() */ still */ done");
+        assert_eq!(
+            toks.iter().filter(|(_, t)| t == "panic").count(),
+            0,
+            "panic inside literals/comments must not leak"
+        );
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = texts("if a != 0.0 && b == c { d ..= e; f::g(); }");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"&&"));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let l = lex("x(); // demt-lint: allow(P1, invariant: y is non-empty)\n// demt-lint: allow(F1)\n// demt-lint: nonsense\n");
+        assert_eq!(l.directives.len(), 3);
+        assert_eq!(l.directives[0].rule.as_deref(), Some("P1"));
+        assert_eq!(
+            l.directives[0].reason.as_deref(),
+            Some("invariant: y is non-empty")
+        );
+        assert_eq!(l.directives[1].rule.as_deref(), Some("F1"));
+        assert_eq!(l.directives[1].reason, None);
+        assert_eq!(l.directives[2].rule, None);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = texts(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+}

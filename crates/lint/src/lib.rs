@@ -1,0 +1,407 @@
+//! # demt-lint — the workspace's static correctness backstop
+//!
+//! The reproduction's load-bearing guarantee is *byte-identical
+//! schedules and reports for any `demt-exec` worker count*. CI enforces
+//! it dynamically (1-vs-4-worker byte diffs), but one stray `HashMap`
+//! iteration, wall-clock read or float `==` in a scheduling path breaks
+//! it silently until a diff happens to catch it. `demt-lint` makes the
+//! rules *checkable properties of the source*: a hand-rolled lexer (no
+//! `syn` — the workspace has no registry access) feeds a rule engine
+//! that walks every workspace crate.
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `D1` | no nondeterminism sources in library code: `HashMap`/`HashSet`, `Instant::now`/`SystemTime` outside the designated timing modules, `thread::current()` |
+//! | `P1` | no `unwrap`/`expect`/`panic!`/`unimplemented!`/`todo!` in library (non-test, non-bin) code |
+//! | `F1` | no bare float `==`/`!=` against a literal outside audited helpers |
+//! | `L1` | crate `[dependencies]` edges must be in the layering DAG declared in `ARCHITECTURE.md` ([`layering::ALLOWED_DEPS`]) |
+//! | `U1` | no `unsafe`, anywhere (not even with an escape hatch) |
+//! | `A1` | every `// demt-lint: allow(RULE, reason)` needs a known rule id and a reason |
+//!
+//! Rule levels (deny/warn/allow) come from the checked-in `lint.toml`;
+//! sites with a written invariant opt out per line:
+//!
+//! ```text
+//! let last = xs.last().expect("non-empty"); // demt-lint: allow(P1, len checked above)
+//! ```
+//!
+//! Run it as `demt lint` or `cargo run -p demt-lint`; `--format json`
+//! emits deterministic, sorted machine-readable diagnostics (CI diffs
+//! two consecutive runs byte-for-byte).
+//!
+//! ```
+//! use demt_lint::{lint_source, Config, FileKind};
+//!
+//! let diags = lint_source(
+//!     "demo.rs",
+//!     "pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }",
+//!     FileKind::Library,
+//!     &Config::default(),
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "P1");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod layering;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, Level, RULES};
+pub use rules::FileKind;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D1`, `P1`, `F1`, `L1`, `U1`, `A1`).
+    pub rule: String,
+    /// Effective severity from `lint.toml`.
+    pub level: Level,
+    /// Path relative to the linted root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation, including the remedy.
+    pub message: String,
+}
+
+/// The outcome of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, sorted by `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of deny-level diagnostics (these fail the run).
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Deny)
+            .count()
+    }
+
+    /// Number of warn-level diagnostics.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warn)
+            .count()
+    }
+}
+
+/// Lints a single source text with an explicit classification — the
+/// unit the fixture corpus drives. `path` is only used for labeling
+/// and the timing-module lookup.
+pub fn lint_source(path: &str, source: &str, kind: FileKind, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let mut out = rules::lint_tokens(path, &lexed, kind, cfg);
+    sort_diagnostics(&mut out);
+    out
+}
+
+fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+}
+
+/// Walks a workspace root (its `src/`, `tests/`, `examples/`,
+/// `benches/` and every `crates/*` member) and applies all rules.
+/// Directory traversal is sorted, so the report is deterministic.
+pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["src", "tests", "examples", "benches", "crates"] {
+        collect_rs_files(root, &root.join(top), cfg, &mut files)?;
+    }
+    files.sort();
+
+    // Pass 1: find `#[cfg(test)] mod name;` declarations so the files
+    // they pull in are classified as test code.
+    let mut lexed_files = Vec::with_capacity(files.len());
+    let mut test_files: BTreeSet<String> = BTreeSet::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = rel_path(root, path);
+        let lexed = lexer::lex(&text);
+        for name in rules::test_module_decls(&lexed) {
+            if let Some(dir) = Path::new(&rel).parent() {
+                let dir = dir.to_string_lossy().replace('\\', "/");
+                test_files.insert(format!("{dir}/{name}.rs"));
+                test_files.insert(format!("{dir}/{name}/mod.rs"));
+            }
+        }
+        lexed_files.push((rel, lexed));
+    }
+
+    // Pass 2: classify and lint.
+    let mut report = Report::default();
+    for (rel, lexed) in &lexed_files {
+        let kind = classify(rel, &test_files);
+        report
+            .diagnostics
+            .extend(rules::lint_tokens(rel, lexed, kind, cfg));
+    }
+    report.files_scanned = lexed_files.len();
+
+    // L1 over the manifests.
+    report
+        .diagnostics
+        .extend(layering::check_layering(root, cfg));
+
+    sort_diagnostics(&mut report.diagnostics);
+    Ok(report)
+}
+
+/// Classifies a workspace-relative path. Mirrors Cargo's target
+/// conventions: `tests/`, `benches/`, `examples/` and `#[cfg(test)]`
+/// modules are test code; `src/bin/`, `src/main.rs` and `build.rs` are
+/// binary code; everything else under `src/` is library code.
+pub fn classify(rel: &str, test_files: &BTreeSet<String>) -> FileKind {
+    if test_files.contains(rel) {
+        return FileKind::Test;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"))
+    {
+        return FileKind::Test;
+    }
+    let in_bin = parts
+        .windows(2)
+        .any(|w| w == ["src", "bin"] || w == ["src", "main.rs"]);
+    if in_bin || rel.ends_with("build.rs") {
+        return FileKind::Binary;
+    }
+    FileKind::Library
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Ok(()); // absent top-level dir: nothing to scan
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let rel = rel_path(root, &path);
+        if cfg.is_excluded(&rel) {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders diagnostics the way rustc does: `path:line:col: level[rule]`.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}:{}:{}: {}[{}] {}\n",
+            d.path,
+            d.line,
+            d.col,
+            d.level.as_str(),
+            d.rule,
+            d.message
+        ));
+    }
+    let (deny, warn) = (report.deny_count(), report.warn_count());
+    if deny == 0 && warn == 0 {
+        out.push_str(&format!(
+            "demt-lint: workspace clean ({} files scanned)\n",
+            report.files_scanned
+        ));
+    } else {
+        out.push_str(&format!(
+            "demt-lint: {} deny, {} warn across {} files\n",
+            deny, warn, report.files_scanned
+        ));
+    }
+    out
+}
+
+/// Renders the machine format: pretty JSON, diagnostics pre-sorted, no
+/// timestamps or absolute paths — two runs over the same tree are
+/// byte-identical (CI asserts this).
+pub fn render_json(report: &Report) -> String {
+    let diags: Vec<serde_json::Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "rule": d.rule,
+                "level": d.level.as_str(),
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "message": d.message,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "tool": "demt-lint",
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "deny": report.deny_count(),
+        "warn": report.warn_count(),
+        "diagnostics": diags,
+    });
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("{}"))
+}
+
+/// The `demt lint` / `demt-lint` entry point. Returns the process exit
+/// code: 0 clean (warns allowed), 1 deny-level findings, 2 usage or
+/// I/O errors.
+pub fn lint_cli(args: &[String]) -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--format" => match it.next() {
+                Some(v) if v == "human" || v == "json" => format = v.clone(),
+                Some(v) => return usage(&format!("bad --format {v} (human|json)")),
+                None => return usage("--format needs human|json"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match discover_root() {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "demt-lint: no workspace root found above the current directory \
+                     (looked for Cargo.toml with [workspace]); pass --root DIR"
+                );
+                return 2;
+            }
+        },
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.exists() {
+        match std::fs::read_to_string(&config_path) {
+            Ok(text) => match Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    eprintln!("demt-lint: {e}");
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("demt-lint: {}: {e}", config_path.display());
+                return 2;
+            }
+        }
+    } else {
+        Config::default()
+    };
+    let report = match run_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("demt-lint: {e}");
+            return 2;
+        }
+    };
+    match format.as_str() {
+        "json" => println!("{}", render_json(&report)),
+        _ => print!("{}", render_human(&report)),
+    }
+    if report.deny_count() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("demt-lint: {msg}\n{USAGE}");
+    2
+}
+
+/// Ascends from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+const USAGE: &str = "\
+demt-lint — workspace static analyzer (determinism, panic-freedom, layering)
+
+USAGE: demt-lint [--root DIR] [--config FILE] [--format human|json]
+
+  --root DIR      workspace root (default: ascend to [workspace] manifest)
+  --config FILE   lint.toml (default: ROOT/lint.toml; built-ins otherwise)
+  --format FMT    human (default) or json (deterministic, sorted)
+
+RULES (levels from lint.toml [levels]; all deny by default)
+  D1  nondeterminism sources in library code (HashMap/HashSet,
+      Instant::now / SystemTime outside [paths].timing, thread::current)
+  P1  unwrap/expect/panic!/unimplemented!/todo! in library code
+  F1  bare float ==/!= against a literal
+  L1  crate [dependencies] edge not in the declared layering DAG
+  U1  unsafe code (not suppressible)
+  A1  malformed // demt-lint: allow(RULE, reason) directive
+
+Per-line escape hatch (same line or line above, reason required):
+  // demt-lint: allow(P1, invariant: xs is non-empty here)
+
+EXIT  0 clean (warns ok) · 1 deny-level findings · 2 usage/IO error
+";

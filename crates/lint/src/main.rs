@@ -1,0 +1,6 @@
+//! `demt-lint` — standalone binary; `demt lint` routes here too.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(demt_lint::lint_cli(&args));
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture for rule A1: malformed directives. A reason-less or
+// unknown-rule directive is itself an error AND suppresses nothing, so
+// the underlying P1 findings are still reported.
+// Never compiled; read by crates/lint/tests/rules.rs.
+pub fn reasonless(v: &[u32]) -> u32 {
+    // demt-lint: allow(P1)
+    *v.last().expect("non-empty")
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // demt-lint: allow(Z9, no such rule exists)
+    *v.last().expect("non-empty")
+}
+
+pub fn not_even_a_directive(v: &[u32]) -> u32 {
+    // demt-lint: please look away
+    *v.last().expect("non-empty")
+}

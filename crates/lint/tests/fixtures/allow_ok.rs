@@ -1,0 +1,11 @@
+// Fixture for the escape hatch: a well-formed directive (known rule id
+// plus a reason) suppresses the finding on its line and the next.
+// Never compiled; read by crates/lint/tests/rules.rs.
+pub fn last(v: &[u32]) -> u32 {
+    // demt-lint: allow(P1, caller guarantees v is non-empty)
+    *v.last().expect("non-empty")
+}
+
+pub fn trailing(v: &[u32]) -> u32 {
+    v[0].checked_add(1).unwrap() // demt-lint: allow(P1, v[0] < u32::MAX by construction)
+}

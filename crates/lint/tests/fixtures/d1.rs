@@ -1,0 +1,22 @@
+// Known-bad fixture for rule D1: every nondeterminism source the rule
+// catches. Never compiled; read by crates/lint/tests/rules.rs.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn order_depends_on_hashing(keys: &[u32]) -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        m.insert(k, k);
+    }
+    m.into_keys().collect()
+}
+
+pub fn reads_the_wall_clock() -> bool {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t0.elapsed().as_nanos() % 2 == 0
+}
+
+pub fn depends_on_thread_identity() -> String {
+    format!("{:?}", std::thread::current().id())
+}

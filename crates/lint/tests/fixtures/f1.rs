@@ -1,0 +1,13 @@
+// Known-bad fixture for rule F1: bare float (in)equality against a
+// literal. Never compiled; read by crates/lint/tests/rules.rs.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_not_one(x: f64) -> bool {
+    x != 1.0
+}
+
+pub fn literal_on_the_left(x: f64) -> bool {
+    0.5 == x
+}

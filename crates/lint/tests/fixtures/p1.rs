@@ -1,0 +1,21 @@
+// Known-bad fixture for rule P1: the panicking constructs library code
+// must not use. Never compiled; read by crates/lint/tests/rules.rs.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("len >= 2")
+}
+
+pub fn refuse() {
+    panic!("library code must return errors instead");
+}
+
+pub fn someday() -> u32 {
+    todo!()
+}
+
+pub fn never() -> u32 {
+    unimplemented!()
+}

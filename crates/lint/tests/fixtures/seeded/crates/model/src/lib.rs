@@ -1,0 +1,23 @@
+// Seeded library file violating D1, P1, F1 and U1. Never compiled;
+// the CI negative check lints this tree and expects a nonzero exit.
+use std::collections::HashMap;
+
+pub fn seeded_d1(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        m.insert(k, k);
+    }
+    m.len()
+}
+
+pub fn seeded_p1(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn seeded_f1(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn seeded_u1(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

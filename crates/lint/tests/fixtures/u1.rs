@@ -1,0 +1,7 @@
+// Known-bad fixture for rule U1: unsafe is an error everywhere, and —
+// unlike every other rule — a reasoned directive cannot excuse it.
+// Never compiled; read by crates/lint/tests/rules.rs.
+pub fn peek(v: &[u8]) -> u8 {
+    // demt-lint: allow(U1, even a well-formed directive cannot excuse unsafe)
+    unsafe { *v.get_unchecked(0) }
+}

@@ -64,7 +64,6 @@
 //! with the same row/variable structure — exactly what the horizon
 //! sweep in `demt-bounds` exploits.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 #[cfg(test)]

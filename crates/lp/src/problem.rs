@@ -195,6 +195,7 @@ impl CscMatrix {
                     v += col[k].1;
                     k += 1;
                 }
+                // demt-lint: allow(F1, exact zero after summing duplicates means the entry is structurally absent)
                 if v != 0.0 {
                     row_idx.push(r);
                     values.push(v);

@@ -239,6 +239,7 @@ impl Eta {
     /// Applies `E` in place (FTRAN direction).
     fn apply(&self, x: &mut [f64]) {
         let t = x[self.r] / self.pivot;
+        // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
         if t != 0.0 {
             for &(i, v) in &self.col {
                 x[i] -= v * t;
@@ -292,6 +293,7 @@ impl Factor {
             // Left-looking solve against the columns factored so far.
             for k in 0..pos {
                 let t = work[f.rperm[k]];
+                // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
                 if t != 0.0 {
                     for &(i, lv) in &f.l_cols[k] {
                         work[i] -= lv * t;
@@ -301,6 +303,7 @@ impl Factor {
             let mut ucol = Vec::new();
             for (k, &row) in f.rperm.iter().enumerate() {
                 let v = work[row];
+                // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
                 if v != 0.0 {
                     ucol.push((k, v));
                 }
@@ -321,6 +324,7 @@ impl Factor {
             let d = work[piv];
             let mut lcol = Vec::new();
             for (i, w) in work.iter_mut().enumerate() {
+                // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
                 if !pivoted[i] && i != piv && *w != 0.0 {
                     lcol.push((i, *w / d));
                 }
@@ -345,6 +349,7 @@ impl Factor {
         for (k, &row) in self.rperm.iter().enumerate() {
             let t = w[row];
             y[k] = t;
+            // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
             if t != 0.0 {
                 for &(i, lv) in &self.l_cols[k] {
                     w[i] -= lv * t;
@@ -355,6 +360,7 @@ impl Factor {
         for j in (0..m).rev() {
             y[j] /= self.u_diag[j];
             let t = y[j];
+            // demt-lint: allow(F1, exact zero skips a structurally absent sparse entry; no tolerance is intended)
             if t != 0.0 {
                 for &(k, uv) in &self.u_cols[j] {
                     y[k] -= uv * t;
@@ -545,6 +551,7 @@ impl Rev<'_> {
                                     .enumerate()
                                     .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
                                     .map(|(s, &(_, d))| (s, d))
+                                    // demt-lint: allow(P1, the else branch runs only when pool.len() reached POOL which is nonzero)
                                     .expect("pool is non-empty");
                                 if d < worst {
                                     pool[slot] = (j, d);
@@ -766,11 +773,13 @@ pub fn solve_with_basis(lp: &LinearProgram) -> Result<(Solution, Basis), LpError
             basis.push(form.n_real + art_row.len());
             art_row.push(i);
         } else {
+            // demt-lint: allow(P1, standard-form construction gives every row without an artificial a slack)
             basis.push(form.slack_of_row[i].expect("a row without artificial has a slack"));
         }
     }
     let total = form.n_real + art_row.len();
     let factor = Factor::new(m, &basis, |j, w| scatter_column(&form, &art_row, j, w))
+        // demt-lint: allow(P1, the start basis is slack/artificial unit columns forming an identity)
         .expect("the unit start basis is nonsingular");
     let x_b = form.b.clone();
     let mut rev = Rev {

@@ -57,6 +57,14 @@ pub enum ModelError {
         /// The duplicated id.
         task: usize,
     },
+    /// A task id referenced an instance of fewer tasks (e.g. in
+    /// [`crate::Instance::restrict`]).
+    TaskOutOfRange {
+        /// The out-of-range id.
+        task: usize,
+        /// Number of tasks in the instance.
+        tasks: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -89,6 +97,9 @@ impl fmt::Display for ModelError {
             ),
             ModelError::DuplicateTaskId { task } => {
                 write!(f, "duplicate task id {task} in instance")
+            }
+            ModelError::TaskOutOfRange { task, tasks } => {
+                write!(f, "task id {task} out of range for an instance of {tasks} tasks")
             }
         }
     }

@@ -138,17 +138,28 @@ impl Instance {
     /// Restriction of the instance to a subset of tasks, re-identifying
     /// them densely and returning the id mapping `new → old`. Used by
     /// the on-line batch wrapper.
-    pub fn restrict(&self, keep: &[TaskId]) -> (Instance, Vec<TaskId>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TaskOutOfRange`] when `keep` names an id the
+    /// instance does not have.
+    pub fn restrict(&self, keep: &[TaskId]) -> Result<(Instance, Vec<TaskId>), ModelError> {
         let mut tasks = Vec::with_capacity(keep.len());
         let mut mapping = Vec::with_capacity(keep.len());
         for (new_id, &old) in keep.iter().enumerate() {
-            let mut t = self.tasks[old.0].clone();
+            let Some(task) = self.tasks.get(old.0) else {
+                return Err(ModelError::TaskOutOfRange {
+                    task: old.0,
+                    tasks: self.tasks.len(),
+                });
+            };
+            let mut t = task.clone();
             t.set_id(TaskId(new_id));
             tasks.push(t);
             mapping.push(old);
         }
-        let inst = Instance::new(self.procs, tasks).expect("restriction preserves validity");
-        (inst, mapping)
+        let inst = Instance::new(self.procs, tasks)?;
+        Ok((inst, mapping))
     }
 }
 
@@ -339,11 +350,19 @@ mod tests {
     #[test]
     fn restriction_reindexes_and_maps_back() {
         let inst = small();
-        let (sub, map) = inst.restrict(&[TaskId(2), TaskId(0)]);
+        let (sub, map) = inst
+            .restrict(&[TaskId(2), TaskId(0)])
+            .expect("ids in range");
         assert_eq!(sub.len(), 2);
         assert_eq!(map, vec![TaskId(2), TaskId(0)]);
         assert!(sub.task(TaskId(0)).same_profile(inst.task(TaskId(2))));
         assert!(sub.task(TaskId(1)).same_profile(inst.task(TaskId(0))));
+    }
+
+    #[test]
+    fn restriction_rejects_out_of_range_ids() {
+        let err = small().restrict(&[TaskId(7)]).unwrap_err();
+        assert_eq!(err, ModelError::TaskOutOfRange { task: 7, tasks: 3 });
     }
 
     #[test]

@@ -26,7 +26,6 @@
 //! * [`MoldableTask::min_area_within`] — the paper's `S_{i,j}`: the
 //!   smallest *area* (processors × time) achievable under a deadline.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;

@@ -285,6 +285,7 @@ impl MoldableTask {
     /// times non-increasing and work non-decreasing.
     pub fn resized(&self, m: usize) -> Self {
         assert!(m >= 1);
+        // demt-lint: allow(P1, constructors reject empty time vectors so last() always exists)
         let last = *self.times.last().expect("non-empty by construction");
         let mut t = self.times.to_vec();
         t.resize(m, last);

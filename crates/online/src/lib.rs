@@ -25,7 +25,6 @@
 //! assert_eq!(result.schedule.len(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use demt_api::{Scheduler, SchedulerContext};
@@ -172,6 +171,7 @@ pub fn online_batch_schedule(
     jobs: &[OnlineJob],
     scheduler: &dyn Scheduler,
 ) -> OnlineResult {
+    // demt-lint: allow(P1, documented panicking wrapper; fallible callers use try_online_batch_schedule)
     try_online_batch_schedule(m, jobs, scheduler).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -182,6 +182,7 @@ fn batch_schedule_validated(
     scheduler: &dyn Scheduler,
 ) -> OnlineResult {
     let full = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
+        // demt-lint: allow(P1, try_online_batch_schedule validated dense ids before delegating here)
         .expect("dense ids validated above");
 
     let mut ctx = SchedulerContext::new();
@@ -208,7 +209,8 @@ fn batch_schedule_validated(
             continue;
         }
         ready.sort();
-        let (sub, mapping) = full.restrict(&ready);
+        // demt-lint: allow(P1, ready ids come from enumerate over jobs so every one is in range)
+        let (sub, mapping) = full.restrict(&ready).expect("ready ids are in range");
         let inner = scheduler.schedule(&sub, &mut ctx).schedule;
         assert_eq!(inner.len(), sub.len(), "off-line scheduler dropped a job");
         let length = inner.makespan();

@@ -28,10 +28,7 @@ pub fn pull_earlier(schedule: &Schedule, ready: Option<&[f64]>) -> Schedule {
     order.sort_by(|&a, &b| {
         let pa = &schedule.placements()[a];
         let pb = &schedule.placements()[b];
-        pa.start
-            .partial_cmp(&pb.start)
-            .unwrap()
-            .then(pa.task.cmp(&pb.task))
+        pa.start.total_cmp(&pb.start).then(pa.task.cmp(&pb.task))
     });
     let mut avail = vec![0.0_f64; m];
     let mut out = Vec::with_capacity(schedule.len());

@@ -31,6 +31,7 @@ pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
     out.push_str(&format!("t = 0 {:>w$.2}\n", horizon, w = width));
     for (q, row) in grid.iter().enumerate() {
         out.push_str(&format!("p{q:<3} |"));
+        // demt-lint: allow(P1, grid cells are only ever written ascii label bytes)
         out.push_str(std::str::from_utf8(row).expect("ascii"));
         out.push_str("|\n");
     }

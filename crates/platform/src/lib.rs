@@ -25,7 +25,6 @@
 //!   skyline-accelerated;
 //! * [`render_gantt`] — ASCII Gantt charts for the examples.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compact;

@@ -145,7 +145,7 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
                 }
             }
         }
-        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.sort_by(|a, b| a.total_cmp(b));
         candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
         // Skyline pre-filter: jump over the prefix where the free

@@ -137,12 +137,8 @@ impl Schedule {
     /// Sorts placements by start time (stable), normalizing the order
     /// for comparisons and rendering.
     pub fn sort_by_start(&mut self) {
-        self.placements.sort_by(|a, b| {
-            a.start
-                .partial_cmp(&b.start)
-                .unwrap()
-                .then(a.task.cmp(&b.task))
-        });
+        self.placements
+            .sort_by(|a, b| a.start.total_cmp(&b.start).then(a.task.cmp(&b.task)));
     }
 }
 

@@ -48,9 +48,7 @@ impl PartialOrd for TimeKey {
 
 impl Ord for TimeKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("time coordinates are finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -147,6 +145,7 @@ impl Skyline {
         )) {
             *f = f
                 .checked_sub(k)
+                // demt-lint: allow(P1, release-assert: an overcommit here is a scheduler bug that must not produce a silent bad schedule)
                 .expect("skyline overcommitted: fewer than k processors free");
         }
     }
@@ -174,6 +173,7 @@ impl Skyline {
             .segs
             .range(..=TimeKey(ready))
             .next_back()
+            // demt-lint: allow(P1, construction seeds a segment at time 0 and carves never remove it)
             .expect("skyline always has a segment at 0")
             .0;
         let mut cand = ready;
@@ -183,6 +183,7 @@ impl Skyline {
             if f < k {
                 // Window cannot start (or continue) here: restart the
                 // candidate at the next segment boundary.
+                // demt-lint: allow(P1, the last segment keeps all committed windows finite so f ≥ k there and next exists)
                 cand = next.expect("final skyline segment is fully free");
             } else if next.map(|t| cand + duration <= t).unwrap_or(true) {
                 return cand;
@@ -253,6 +254,7 @@ impl Frontier {
             }
             need -= group.len();
         }
+        // demt-lint: allow(P1, the groups always partition all m processors and k ≤ m was asserted)
         let boundary = boundary.expect("frontier always holds all m processors");
         let start = boundary.0.max(ready);
 
@@ -264,9 +266,11 @@ impl Frontier {
             .first_key_value()
             .is_some_and(|(&key, _)| key < boundary)
         {
+            // demt-lint: allow(P1, the while condition just observed a first entry under the same borrow)
             let (_, group) = self.groups.pop_first().expect("checked non-empty");
             procs.extend(group);
         }
+        // demt-lint: allow(P1, boundary was found among the group keys and only earlier groups were drained)
         let group = self.groups.get_mut(&boundary).expect("boundary exists");
         procs.extend(group.drain(..need));
         if group.is_empty() {

@@ -158,7 +158,7 @@ pub fn validate_with_releases(
     }
 
     for (q, intervals) in proc_intervals.iter_mut().enumerate() {
-        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in intervals.windows(2) {
             let (_, end_a, task_a) = w[0];
             let (start_b, _, task_b) = w[1];
@@ -197,7 +197,7 @@ pub fn validate_no_overlap(schedule: &Schedule) -> Result<(), ValidationError> {
         }
     }
     for (q, intervals) in proc_intervals.iter_mut().enumerate() {
-        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in intervals.windows(2) {
             let (_, end_a, task_a) = w[0];
             let (start_b, _, task_b) = w[1];
@@ -216,6 +216,7 @@ pub fn validate_no_overlap(schedule: &Schedule) -> Result<(), ValidationError> {
 /// Panicking wrapper for tests and examples.
 pub fn assert_valid(instance: &Instance, schedule: &Schedule) {
     if let Err(e) = validate(instance, schedule) {
+        // demt-lint: allow(P1, documented panicking wrapper for tests and examples; validate is the fallible path)
         panic!("invalid schedule: {e}");
     }
 }

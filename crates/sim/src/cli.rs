@@ -85,7 +85,9 @@ pub fn repro_cli(args: &[String]) -> i32 {
             figures.insert(f.to_string());
         }
     }
-    std::fs::create_dir_all(&out).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        die(&format!("cannot create {}: {e}", out.display()));
+    }
     eprintln!(
         "repro: m={}, n={:?}, {} runs/point, {} workers → {}",
         cfg.procs,
@@ -113,7 +115,7 @@ pub fn repro_cli(args: &[String]) -> i32 {
         if figures.contains(&figname) {
             let csv = figure_csv(fig);
             let path = out.join(format!("{figname}_{}.csv", fig.kind.name()));
-            std::fs::write(&path, &csv).expect("write csv");
+            write_file(&path, &csv);
             println!("{}", ratio_table(fig, "wici"));
             println!("{}", ascii_plot(fig, "wici", 8.0));
             println!("{}", ratio_table(fig, "cmax"));
@@ -132,11 +134,12 @@ pub fn repro_cli(args: &[String]) -> i32 {
         }
     }
     if let Some(path) = &json_out {
-        let doc = serde_json::to_string(&figs).expect("serializable figures");
+        let doc = serde_json::to_string(&figs)
+            .unwrap_or_else(|e| die(&format!("cannot serialize figures: {e}")));
         if path == "-" {
             println!("{doc}");
         } else {
-            std::fs::write(path, &doc).expect("write json");
+            write_file(std::path::Path::new(path), &doc);
             println!("wrote {path}\n");
         }
     }
@@ -161,7 +164,7 @@ pub fn repro_cli(args: &[String]) -> i32 {
         }
         let csv = timing_csv(&series);
         let path = out.join("fig7_timing.csv");
-        std::fs::write(&path, &csv).expect("write csv");
+        write_file(&path, &csv);
         println!("Figure 7 — DEMT scheduling time (seconds per schedule)");
         println!(
             "{:>6} {:>12} {:>12} {:>12}",
@@ -203,7 +206,7 @@ fn run_ablation_report(pool: &Pool, cfg: &ExperimentConfig, out: &std::path::Pat
         );
     }
     let path = out.join("ablation.csv");
-    std::fs::write(&path, crate::ablation_csv(&rows)).expect("write csv");
+    write_file(&path, &crate::ablation_csv(&rows));
     println!("wrote {}\n", path.display());
 }
 
@@ -212,6 +215,12 @@ fn req_usize(it: &mut std::iter::Peekable<std::slice::Iter<String>>, flag: &str)
         .unwrap_or_else(|| die(&format!("{flag} needs a value")))
         .parse()
         .unwrap_or_else(|_| die(&format!("{flag} needs an integer")))
+}
+
+fn write_file(path: &std::path::Path, data: &str) {
+    if let Err(e) = std::fs::write(path, data) {
+        die(&format!("cannot write {}: {e}", path.display()));
+    }
 }
 
 fn die(msg: &str) -> ! {

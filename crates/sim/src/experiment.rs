@@ -130,6 +130,7 @@ impl PointResult {
             .series
             .iter()
             .find(|(a, _)| *a == alg)
+            // demt-lint: allow(P1, PointResult construction zips series over Algorithm::ALL so every entry exists)
             .expect("all algorithms present")
             .1
     }
@@ -183,6 +184,7 @@ fn one_run(cfg: &ExperimentConfig, kind: WorkloadKind, n: usize, run: usize) -> 
         };
         if cfg.validate_schedules {
             validate(&inst, &report.schedule)
+                // demt-lint: allow(P1, release-assert under cfg.validate_schedules: an invalid schedule must abort the experiment)
                 .unwrap_or_else(|e| panic!("{alg} produced an invalid schedule: {e}"));
         }
         cells.push((report.criteria, report.wall_seconds));
@@ -289,6 +291,7 @@ pub fn run_figures_on<P: Fn(&str) + Sync>(
         for &n in &cfg.task_counts {
             let mut merged = vec![AlgSeries::default(); Algorithm::ALL.len()];
             for _ in 0..cfg.runs {
+                // demt-lint: allow(P1, the pool returned exactly one result per submitted cell in submission order)
                 fold_runs(&mut merged, it.next().expect("one result per cell"));
             }
             points.push(PointResult {
@@ -348,6 +351,7 @@ pub fn run_figure_on(
         let mut p = progress.lock().unwrap_or_else(|e| e.into_inner());
         (*p)(msg);
     });
+    // demt-lint: allow(P1, run_figures_on returns one FigureResult per requested kind and one kind was passed)
     figs.pop().expect("one kind in, one figure out")
 }
 

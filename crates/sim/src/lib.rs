@@ -10,7 +10,6 @@
 //! The `repro` binary drives the sweeps and writes CSV series plus
 //! terminal tables/plots; see `repro --help`.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ablation;

@@ -16,7 +16,6 @@
 //! assert!(inst.check_monotonic().is_ok());
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod downey;

@@ -197,8 +197,10 @@ fn generate_with<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Instance 
             }
         };
         b.push_times(weight, times)
+            // demt-lint: allow(P1, every generator arm yields positive monotone profiles accepted by push_times)
             .expect("generators produce valid vectors");
     }
+    // demt-lint: allow(P1, the builder assigns dense ids itself so build cannot reject them)
     let inst = b.build().expect("dense ids by construction");
     debug_assert!(inst.check_monotonic().is_ok());
     inst

@@ -23,6 +23,10 @@ fn main() {
     if cmd == "repro" {
         std::process::exit(demt::sim::repro_cli(&args[1..]));
     }
+    // So does `lint` (its own --root/--config/--format grammar).
+    if cmd == "lint" {
+        std::process::exit(demt::lint::lint_cli(&args[1..]));
+    }
     let opts = parse_opts(&args[1..]);
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
@@ -478,4 +482,8 @@ COMMANDS
             [--workers W] [--json PATH] [--no-timing] ...
             regenerate the paper's figures on one shared work-stealing
             pool (same driver as the repro binary; `demt repro --help`)
+  lint      [--root DIR] [--config FILE] [--format human|json]
+            static analysis of the workspace source: determinism (D1),
+            panic-freedom (P1), float comparisons (F1), crate layering
+            (L1), unsafe (U1) — the CI hard gate (`demt lint --help`)
 ";

@@ -28,6 +28,7 @@
 //! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
 //! | [`frontend`] | `demt-frontend` | cluster front-end simulation: job streams, FCFS/EASY queues, SWF traces, response metrics |
 //! | [`divisible`] | `demt-divisible` | divisible-load & preemptive scheduling: McNaughton, Smith gangs, moldable bridging |
+//! | [`lint`] | `demt-lint` | workspace static analyzer: determinism, panic-freedom, float equality, crate layering, unsafe (`demt lint`) |
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's structure
 //! (dual approximation, shelf partition, Graham lists, LP lower bounds,
@@ -61,7 +62,6 @@
 //! assert_eq!(result.schedule, report.schedule);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use demt_api as api;
@@ -75,6 +75,7 @@ pub use demt_exact as exact;
 pub use demt_exec as exec;
 pub use demt_frontend as frontend;
 pub use demt_kernels as kernels;
+pub use demt_lint as lint;
 pub use demt_lp as lp;
 pub use demt_model as model;
 pub use demt_online as online;
