@@ -55,10 +55,13 @@ pub fn check_lambda(inst: &Instance, lambda: f64) -> Option<Rejection> {
             Some(a) => total_area += a,
         }
         if t.min_time() > lambda / 2.0 {
-            midpoint_procs += t
-                .min_alloc_within(lambda)
-                // demt-lint: allow(P1, min_area_within returned Some above so an allotment within lambda exists)
-                .expect("fit condition already checked");
+            // `min_area_within` returned `Some` above, so an allotment
+            // within lambda exists; treat a disagreement between the
+            // two queries as a rejection rather than panicking.
+            match t.min_alloc_within(lambda) {
+                Some(p) => midpoint_procs += p,
+                None => return Some(Rejection::TaskDoesNotFit { task: i }),
+            }
         }
     }
     let capacity = m as f64 * lambda;

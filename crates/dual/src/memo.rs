@@ -161,10 +161,14 @@ impl CanonicalAllotments {
                 Some(a) => total_area += a,
             }
             if self.min_time(i) > lambda / 2.0 {
-                midpoint_procs += self
-                    .min_alloc_within(i, lambda)
-                    // demt-lint: allow(P1, min_area_within returned Some above so an allotment within lambda exists)
-                    .expect("fit condition already checked");
+                // `min_area_within` returned `Some` above, so an
+                // allotment within lambda exists; treat a disagreement
+                // between the two queries as a rejection rather than
+                // panicking.
+                match self.min_alloc_within(i, lambda) {
+                    Some(p) => midpoint_procs += p,
+                    None => return Some(Rejection::TaskDoesNotFit { task: i }),
+                }
             }
         }
         let capacity = m as f64 * lambda;

@@ -80,8 +80,13 @@ pub fn moldable_instance(m: usize, jobs: &[SubmittedJob]) -> (Instance, Vec<f64>
 
 /// Runs the moldable path: SWW batches (`demt-online`) over any
 /// [`Scheduler`] (pass the registry's `"demt"` entry for the paper's
-/// system).
-pub fn moldable_schedule(m: usize, jobs: &[SubmittedJob], scheduler: &dyn Scheduler) -> Schedule {
+/// system). Rejects a malformed stream with the on-line engine's typed
+/// [`OnlineError`](demt_online::OnlineError).
+pub fn moldable_schedule(
+    m: usize,
+    jobs: &[SubmittedJob],
+    scheduler: &dyn Scheduler,
+) -> Result<Schedule, demt_online::OnlineError> {
     let online_jobs: Vec<OnlineJob> = jobs
         .iter()
         .map(|j| OnlineJob {
@@ -89,7 +94,7 @@ pub fn moldable_schedule(m: usize, jobs: &[SubmittedJob], scheduler: &dyn Schedu
             release: j.release,
         })
         .collect();
-    demt_online::online_batch_schedule(m, &online_jobs, scheduler).schedule
+    demt_online::try_online_batch_schedule(m, &online_jobs, scheduler).map(|r| r.schedule)
 }
 
 #[cfg(test)]
@@ -126,7 +131,7 @@ mod tests {
     fn moldable_path_validates_and_beats_fcfs_on_waits() {
         let jobs = submit_stream(&spec());
         let (inst, releases) = moldable_instance(16, &jobs);
-        let demt = moldable_schedule(16, &jobs, &DemtScheduler::default());
+        let demt = moldable_schedule(16, &jobs, &DemtScheduler::default()).expect("valid stream");
         validate_with_releases(&inst, &demt, Some(&releases)).unwrap();
 
         let fcfs = queue_schedule(16, &jobs, QueuePolicy::Fcfs);

@@ -65,6 +65,7 @@ pub fn job_metrics(jobs: &[SubmittedJob], schedule: &Schedule) -> Vec<JobMetrics
 }
 
 /// Aggregates a stream's metrics.
+// demt-lint: allow(P2, inherits job_metrics' documented panicking contract: the schedule must cover the stream)
 pub fn stream_metrics(jobs: &[SubmittedJob], schedule: &Schedule, m: usize) -> StreamMetrics {
     let per_job = job_metrics(jobs, schedule);
     let n = per_job.len();

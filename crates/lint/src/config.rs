@@ -49,6 +49,12 @@ pub const RULES: &[(&str, &str)] = &[
     ("L1", "crate-layering violation in a manifest"),
     ("U1", "unsafe code"),
     ("A1", "malformed or reason-less demt-lint directive"),
+    ("P2", "pub fn with a transitively reachable panic site"),
+    ("A2", "stale allow(...) directive suppressing nothing"),
+    (
+        "D2",
+        "order-sensitive float accumulation over an unordered source",
+    ),
 ];
 
 /// Returns true when `id` names a rule the engine implements.
@@ -68,6 +74,16 @@ pub struct Config {
     /// `SystemTime` are legitimate (they feed wall-clock *reporting*
     /// fields, never scheduling decisions).
     pub timing: Vec<String>,
+    /// `[p2] baseline`: workspace-relative path of the P2
+    /// panic-reachability baseline file.
+    pub p2_baseline: String,
+    /// `[p2] index_edges`: when true, indexing/slicing expressions
+    /// count as panic sites for the reachability analysis.
+    pub p2_index_edges: bool,
+    /// `[d2] ordered_sources`: call names that count as
+    /// provably-ordered iteration sources in accumulation chains
+    /// (the `demt-exec` ordered-reduction entry points).
+    pub d2_ordered_sources: Vec<String>,
 }
 
 impl Default for Config {
@@ -80,6 +96,9 @@ impl Default for Config {
                 "crates/lint/tests/fixtures".to_string(),
             ],
             timing: Vec::new(),
+            p2_baseline: "panic_reach.toml".to_string(),
+            p2_index_edges: false,
+            d2_ordered_sources: vec!["par_map_reduce".to_string()],
         }
     }
 }
@@ -107,9 +126,9 @@ impl Config {
     /// meant for the CLI to print verbatim.
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config {
-            levels: BTreeMap::new(),
             exclude: Vec::new(),
             timing: Vec::new(),
+            ..Config::default()
         };
         let mut section = String::new();
         let mut lines = text.lines().enumerate().peekable();
@@ -168,6 +187,33 @@ impl Config {
                         }
                     }
                 }
+                "p2" => match key {
+                    "baseline" => {
+                        cfg.p2_baseline = parse_string(&value).ok_or_else(|| {
+                            format!("lint.toml:{lineno}: baseline must be a string path")
+                        })?;
+                    }
+                    "index_edges" => {
+                        cfg.p2_index_edges = match value.as_str() {
+                            "true" => true,
+                            "false" => false,
+                            _ => {
+                                return Err(format!(
+                                    "lint.toml:{lineno}: index_edges must be true or false"
+                                ))
+                            }
+                        };
+                    }
+                    other => return Err(format!("lint.toml:{lineno}: unknown p2 key {other}")),
+                },
+                "d2" => match key {
+                    "ordered_sources" => {
+                        cfg.d2_ordered_sources = parse_string_array(&value).ok_or_else(|| {
+                            format!("lint.toml:{lineno}: ordered_sources must be a string array")
+                        })?;
+                    }
+                    other => return Err(format!("lint.toml:{lineno}: unknown d2 key {other}")),
+                },
                 other => {
                     return Err(format!("lint.toml:{lineno}: unknown section [{other}]"));
                 }
@@ -175,6 +221,67 @@ impl Config {
         }
         Ok(cfg)
     }
+}
+
+/// Parses a `panic_reach.toml` baseline: the quoted fn keys inside the
+/// `[p2] entries = [ … ]` array, each with its 1-based line number (so
+/// a stale entry can be reported *at* its line). Tolerant of comments
+/// and blank lines; anything else that is not part of the expected
+/// shape is an error.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, u32)>, String> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    let mut in_entries = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() || line == "[p2]" {
+            continue;
+        }
+        if !in_entries {
+            match line.as_str() {
+                "entries = [" => in_entries = true,
+                "entries = []" => {}
+                _ => {
+                    return Err(format!(
+                        "panic_reach.toml:{lineno}: expected `[p2]` / `entries = [`"
+                    ))
+                }
+            }
+            continue;
+        }
+        if line == "]" {
+            in_entries = false;
+            continue;
+        }
+        let key = parse_string(line.trim_end_matches(','))
+            .ok_or_else(|| format!("panic_reach.toml:{lineno}: expected a quoted fn key"))?;
+        out.push((key, lineno));
+    }
+    if in_entries {
+        return Err("panic_reach.toml: unterminated entries array".to_string());
+    }
+    Ok(out)
+}
+
+/// Renders a baseline file for `--update-baseline`: sorted keys, one
+/// per line, with the regeneration recipe in the header.
+pub fn render_baseline(keys: &[String]) -> String {
+    let mut out = String::from(
+        "# demt-lint P2 panic-reachability baseline.\n\
+         #\n\
+         # Every entry is a `pub` library fn from which a panic site is\n\
+         # transitively reachable over the workspace call graph. CI forbids\n\
+         # this file from gaining entries; shrink it by converting panic\n\
+         # paths to typed Results or annotating `allow(P2, reason)` at the\n\
+         # fn, then regenerate with: demt lint --update-baseline\n\
+         [p2]\n\
+         entries = [\n",
+    );
+    for key in keys {
+        out.push_str(&format!("  \"{key}\",\n"));
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// Drops a `#` comment, respecting double-quoted strings.
@@ -246,5 +353,52 @@ timing = [
         assert!(Config::parse("[levels]\nZZ = \"deny\"\n").is_err());
         assert!(Config::parse("[levels]\nD1 = \"fatal\"\n").is_err());
         assert!(Config::parse("[nope]\nx = \"y\"\n").is_err());
+    }
+
+    #[test]
+    fn parses_p2_and_d2_sections() {
+        let cfg = Config::parse(
+            r#"
+[p2]
+baseline = "audits/panic_reach.toml"
+index_edges = true
+
+[d2]
+ordered_sources = ["par_map_reduce", "ordered_scan"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.p2_baseline, "audits/panic_reach.toml");
+        assert!(cfg.p2_index_edges);
+        assert_eq!(
+            cfg.d2_ordered_sources,
+            vec!["par_map_reduce", "ordered_scan"]
+        );
+        assert!(Config::parse("[p2]\nindex_edges = \"maybe\"\n").is_err());
+        assert!(Config::parse("[d2]\nnope = []\n").is_err());
+        // Defaults when the sections are absent.
+        let cfg = Config::parse("[levels]\nD1 = \"deny\"\n").expect("parses");
+        assert_eq!(cfg.p2_baseline, "panic_reach.toml");
+        assert!(!cfg.p2_index_edges);
+        assert_eq!(cfg.d2_ordered_sources, vec!["par_map_reduce"]);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let keys = vec![
+            "demt-api::plan::solve".to_string(),
+            "demt-platform::Skyline::push".to_string(),
+        ];
+        let text = render_baseline(&keys);
+        let parsed = parse_baseline(&text).expect("round-trips");
+        let back: Vec<String> = parsed.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(back, keys);
+        // Line numbers point at the entries themselves.
+        assert!(parsed.iter().all(|(_, l)| *l > 8));
+        assert_eq!(
+            parse_baseline("[p2]\nentries = []\n").expect("empty ok"),
+            vec![]
+        );
+        assert!(parse_baseline("garbage\n").is_err());
     }
 }

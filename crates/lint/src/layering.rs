@@ -151,6 +151,25 @@ fn allowed_for(name: &str) -> Option<&'static [&'static str]> {
         .map(|(_, deps)| *deps)
 }
 
+/// The crates visible from `name` through `[dependencies]` edges:
+/// `name` itself plus its transitive [`ALLOWED_DEPS`] closure. The
+/// call-graph resolver uses this to bound name-based method resolution
+/// — a crate cannot call into a crate it does not depend on. Unknown
+/// crates return `None` (the resolver falls back to everything).
+pub fn visible_crates(name: &str) -> Option<BTreeSet<&'static str>> {
+    let mut out: BTreeSet<&'static str> = BTreeSet::new();
+    let (root, _) = ALLOWED_DEPS.iter().find(|(n, _)| *n == name)?;
+    let mut stack: Vec<&'static str> = vec![root];
+    while let Some(n) = stack.pop() {
+        if out.insert(n) {
+            if let Some(deps) = allowed_for(n) {
+                stack.extend(deps.iter().copied());
+            }
+        }
+    }
+    Some(out)
+}
+
 /// A parsed manifest: package name and its `demt-*` dependency edges
 /// with the line each was declared on.
 #[derive(Debug, Default)]

@@ -17,6 +17,9 @@
 //! | `L1` | crate `[dependencies]` edges must be in the layering DAG declared in `ARCHITECTURE.md` ([`layering::ALLOWED_DEPS`]) |
 //! | `U1` | no `unsafe`, anywhere (not even with an escape hatch) |
 //! | `A1` | every `// demt-lint: allow(RULE, reason)` needs a known rule id and a reason |
+//! | `P2` | no `pub` library fn may *transitively* reach a panic site over the workspace call graph ([`callgraph`]), unless annotated or recorded in the `panic_reach.toml` baseline (which CI only lets shrink) |
+//! | `A2` | every `allow(…)` directive must still suppress something — stale suppressions are findings |
+//! | `D2` | no `fold`/`sum` over possibly-float items without a provably-ordered iteration source |
 //!
 //! Rule levels (deny/warn/allow) come from the checked-in `lint.toml`;
 //! sites with a written invariant opt out per line:
@@ -44,15 +47,20 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod layering;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
+pub mod symbols;
 
 pub use config::{Config, Level, RULES};
 pub use rules::FileKind;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// One finding, anchored to a file position.
@@ -79,6 +87,9 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The call-graph report (deterministic JSON), written out by the
+    /// CLI's `--callgraph PATH`. Not part of [`render_json`].
+    pub callgraph_json: String,
 }
 
 impl Report {
@@ -101,10 +112,32 @@ impl Report {
 
 /// Lints a single source text with an explicit classification — the
 /// unit the fixture corpus drives. `path` is only used for labeling
-/// and the timing-module lookup.
+/// and the timing-module lookup. Runs the *full* pipeline, token rules
+/// and semantic rules alike, treating the text as a one-file crate
+/// named `fixture` (so P2 sees intra-file call chains and D2 sees
+/// accumulation sites); no baseline applies here.
 pub fn lint_source(path: &str, source: &str, kind: FileKind, cfg: &Config) -> Vec<Diagnostic> {
     let lexed = lexer::lex(source);
-    let mut out = rules::lint_tokens(path, &lexed, kind, cfg);
+    let parsed = parser::parse_with_extra_ordered(&lexed, &cfg.d2_ordered_sources);
+    let sem = semantic::analyze(
+        vec![symbols::FileInput {
+            rel: path.to_string(),
+            crate_name: "fixture".to_string(),
+            kind,
+            parsed,
+        }],
+        cfg,
+    );
+    let mut raw = rules::scan_tokens(path, &lexed, kind, cfg);
+    raw.extend(
+        semantic::p2_diagnostics(&sem, cfg)
+            .into_iter()
+            .map(|(_, d)| d),
+    );
+    raw.extend(semantic::d2_diagnostics(&sem, cfg));
+    let (mut out, a2) = rules::apply_directives(path, &lexed, raw, cfg);
+    out.extend(a2);
+    out.retain(|d| d.level != Level::Allow);
     sort_diagnostics(&mut out);
     out
 }
@@ -114,50 +147,190 @@ fn sort_diagnostics(diags: &mut [Diagnostic]) {
 }
 
 /// Walks a workspace root (its `src/`, `tests/`, `examples/`,
-/// `benches/` and every `crates/*` member) and applies all rules.
+/// `benches/` and every `crates/*` member) and applies all rules:
+/// token rules per file, then the semantic pass (symbol table, call
+/// graph, P2/A2/D2) over the whole tree, then directive suppression
+/// with stale-directive accounting and the P2 baseline filter.
 /// Directory traversal is sorted, so the report is deterministic.
 pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    run_workspace_inner(root, cfg, false).map(|(report, _)| report)
+}
+
+/// [`run_workspace`], also returning the sorted symbol keys of every
+/// P2 finding that survives directive suppression — the content of a
+/// freshly regenerated baseline. `ignore_baseline` skips the baseline
+/// filter (used by `--update-baseline` so the new file reflects the
+/// real current state, not the old file's view).
+pub fn run_workspace_inner(
+    root: &Path,
+    cfg: &Config,
+    ignore_baseline: bool,
+) -> Result<(Report, Vec<String>), String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for top in ["src", "tests", "examples", "benches", "crates"] {
         collect_rs_files(root, &root.join(top), cfg, &mut files)?;
     }
     files.sort();
 
-    // Pass 1: find `#[cfg(test)] mod name;` declarations so the files
-    // they pull in are classified as test code.
-    let mut lexed_files = Vec::with_capacity(files.len());
-    let mut test_files: BTreeSet<String> = BTreeSet::new();
+    // Lex + parse everything once.
+    let mut lexed_files: Vec<(String, lexer::Lexed)> = Vec::with_capacity(files.len());
+    let mut parsed_files: Vec<(String, parser::ParsedFile)> = Vec::with_capacity(files.len());
     for path in &files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
         let rel = rel_path(root, path);
         let lexed = lexer::lex(&text);
-        for name in rules::test_module_decls(&lexed) {
-            if let Some(dir) = Path::new(&rel).parent() {
-                let dir = dir.to_string_lossy().replace('\\', "/");
-                test_files.insert(format!("{dir}/{name}.rs"));
-                test_files.insert(format!("{dir}/{name}/mod.rs"));
+        let parsed = parser::parse_with_extra_ordered(&lexed, &cfg.d2_ordered_sources);
+        lexed_files.push((rel.clone(), lexed));
+        parsed_files.push((rel, parsed));
+    }
+
+    // Classify by module tree (falling back to the path heuristic for
+    // files no crate root reaches), then assemble the semantic inputs.
+    let tree_kinds = semantic::classify_workspace(&parsed_files);
+    let crate_names = crate_name_map(root);
+    let empty = BTreeSet::new();
+    let mut kinds: Vec<FileKind> = Vec::with_capacity(parsed_files.len());
+    let mut inputs: Vec<symbols::FileInput> = Vec::with_capacity(parsed_files.len());
+    for (rel, parsed) in parsed_files {
+        let kind = tree_kinds
+            .get(&rel)
+            .copied()
+            .unwrap_or_else(|| classify(&rel, &empty));
+        kinds.push(kind);
+        inputs.push(symbols::FileInput {
+            crate_name: crate_name_of(&rel, &crate_names),
+            rel,
+            kind,
+            parsed,
+        });
+    }
+    let sem = semantic::analyze(inputs, cfg);
+
+    // Raw diagnostics per file: token rules + semantic rules.
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for ((rel, lexed), kind) in lexed_files.iter().zip(&kinds) {
+        by_file.insert(rel.clone(), rules::scan_tokens(rel, lexed, *kind, cfg));
+    }
+    let mut p2_key_at: BTreeMap<(String, u32, u32), String> = BTreeMap::new();
+    for (key, diag) in semantic::p2_diagnostics(&sem, cfg) {
+        p2_key_at.insert((diag.path.clone(), diag.line, diag.col), key);
+        by_file.entry(diag.path.clone()).or_default().push(diag);
+    }
+    for diag in semantic::d2_diagnostics(&sem, cfg) {
+        by_file.entry(diag.path.clone()).or_default().push(diag);
+    }
+
+    // Directive suppression + A2, per file.
+    let mut report = Report::default();
+    let mut p2_keys: Vec<String> = Vec::new();
+    for (rel, lexed) in &lexed_files {
+        let raw = by_file.remove(rel).unwrap_or_default();
+        let (kept, a2) = rules::apply_directives(rel, lexed, raw, cfg);
+        for d in &kept {
+            if d.rule == "P2" {
+                if let Some(key) = p2_key_at.get(&(d.path.clone(), d.line, d.col)) {
+                    p2_keys.push(key.clone());
+                }
             }
         }
-        lexed_files.push((rel, lexed));
+        report.diagnostics.extend(kept);
+        report.diagnostics.extend(a2);
+    }
+    p2_keys.sort();
+    p2_keys.dedup();
+
+    // The P2 baseline: listed fns are accepted debt, but entries that
+    // no longer match a live finding are themselves findings — the
+    // baseline only ever shrinks.
+    if !ignore_baseline {
+        let baseline_path = root.join(&cfg.p2_baseline);
+        if let Ok(text) = std::fs::read_to_string(&baseline_path) {
+            let entries = config::parse_baseline(&text)?;
+            let mut used: BTreeMap<&str, bool> =
+                entries.iter().map(|(k, _)| (k.as_str(), false)).collect();
+            report.diagnostics.retain(|d| {
+                if d.rule != "P2" {
+                    return true;
+                }
+                match p2_key_at
+                    .get(&(d.path.clone(), d.line, d.col))
+                    .and_then(|key| used.get_mut(key.as_str()))
+                {
+                    Some(slot) => {
+                        *slot = true;
+                        false
+                    }
+                    None => true,
+                }
+            });
+            let level = cfg.level("P2");
+            for (key, line) in &entries {
+                if used.get(key.as_str()).copied().unwrap_or(false) {
+                    continue;
+                }
+                report.diagnostics.push(Diagnostic {
+                    rule: "P2".to_string(),
+                    level,
+                    path: cfg.p2_baseline.clone(),
+                    line: *line,
+                    col: 1,
+                    message: format!(
+                        "stale baseline entry `{key}`: the fn no longer reaches a \
+                         panic site (or is gone, renamed, or now annotated) — \
+                         remove the entry, e.g. via `demt lint --update-baseline`"
+                    ),
+                });
+            }
+        }
     }
 
-    // Pass 2: classify and lint.
-    let mut report = Report::default();
-    for (rel, lexed) in &lexed_files {
-        let kind = classify(rel, &test_files);
-        report
-            .diagnostics
-            .extend(rules::lint_tokens(rel, lexed, kind, cfg));
-    }
     report.files_scanned = lexed_files.len();
-
-    // L1 over the manifests.
     report
         .diagnostics
         .extend(layering::check_layering(root, cfg));
-
+    report.diagnostics.retain(|d| d.level != Level::Allow);
     sort_diagnostics(&mut report.diagnostics);
-    Ok(report)
+    report.callgraph_json = sem.graph.render_json(&sem.table, &sem.reach);
+    Ok((report, p2_keys))
+}
+
+/// Maps `crates/<dir>` prefixes (and the root package) to Cargo
+/// package names by reading each member manifest.
+fn crate_name_map(root: &Path) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let read_name = |manifest: &Path| -> Option<String> {
+        let text = std::fs::read_to_string(manifest).ok()?;
+        layering::parse_manifest(&text).name
+    };
+    if let Some(name) = read_name(&root.join("Cargo.toml")) {
+        map.insert(String::new(), name);
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for e in entries.filter_map(|e| e.ok()) {
+            let Ok(dir_name) = e.file_name().into_string() else {
+                continue;
+            };
+            let name = read_name(&e.path().join("Cargo.toml"))
+                .unwrap_or_else(|| format!("demt-{dir_name}"));
+            map.insert(format!("crates/{dir_name}"), name);
+        }
+    }
+    map
+}
+
+/// The package owning a workspace-relative file path.
+fn crate_name_of(rel: &str, names: &BTreeMap<String, String>) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some(dir) = rest.split('/').next() {
+            if let Some(name) = names.get(&format!("crates/{dir}")) {
+                return name.clone();
+            }
+        }
+    }
+    names
+        .get("")
+        .cloned()
+        .unwrap_or_else(|| "workspace".to_string())
 }
 
 /// Classifies a workspace-relative path. Mirrors Cargo's target
@@ -288,6 +461,8 @@ pub fn lint_cli(args: &[String]) -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut format = "human".to_string();
+    let mut callgraph_out: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -300,10 +475,15 @@ pub fn lint_cli(args: &[String]) -> i32 {
                 None => return usage("--config needs a file"),
             },
             "--format" => match it.next() {
-                Some(v) if v == "human" || v == "json" => format = v.clone(),
-                Some(v) => return usage(&format!("bad --format {v} (human|json)")),
-                None => return usage("--format needs human|json"),
+                Some(v) if v == "human" || v == "json" || v == "sarif" => format = v.clone(),
+                Some(v) => return usage(&format!("bad --format {v} (human|json|sarif)")),
+                None => return usage("--format needs human|json|sarif"),
             },
+            "--callgraph" => match it.next() {
+                Some(v) => callgraph_out = Some(PathBuf::from(v)),
+                None => return usage("--callgraph needs an output file"),
+            },
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return 0;
@@ -342,16 +522,40 @@ pub fn lint_cli(args: &[String]) -> i32 {
     } else {
         Config::default()
     };
-    let report = match run_workspace(&root, &cfg) {
+    let (report, p2_keys) = match run_workspace_inner(&root, &cfg, update_baseline) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("demt-lint: {e}");
             return 2;
         }
     };
+    if update_baseline {
+        let path = root.join(&cfg.p2_baseline);
+        if let Err(e) = std::fs::write(&path, config::render_baseline(&p2_keys)) {
+            eprintln!("demt-lint: {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!(
+            "demt-lint: wrote {} baseline entries to {}",
+            p2_keys.len(),
+            path.display()
+        );
+    }
+    if let Some(out_path) = callgraph_out {
+        if let Err(e) = std::fs::write(&out_path, format!("{}\n", report.callgraph_json)) {
+            eprintln!("demt-lint: {}: {e}", out_path.display());
+            return 2;
+        }
+    }
     match format.as_str() {
         "json" => println!("{}", render_json(&report)),
+        "sarif" => println!("{}", sarif::render_sarif(&report)),
         _ => print!("{}", render_human(&report)),
+    }
+    if update_baseline {
+        // The regenerated baseline reflects the current state by
+        // construction; remaining P2 findings are now accepted debt.
+        return 0;
     }
     if report.deny_count() > 0 {
         1
@@ -385,11 +589,17 @@ fn discover_root() -> Option<PathBuf> {
 const USAGE: &str = "\
 demt-lint — workspace static analyzer (determinism, panic-freedom, layering)
 
-USAGE: demt-lint [--root DIR] [--config FILE] [--format human|json]
+USAGE: demt-lint [--root DIR] [--config FILE] [--format human|json|sarif]
+                 [--callgraph FILE] [--update-baseline]
 
-  --root DIR      workspace root (default: ascend to [workspace] manifest)
-  --config FILE   lint.toml (default: ROOT/lint.toml; built-ins otherwise)
-  --format FMT    human (default) or json (deterministic, sorted)
+  --root DIR         workspace root (default: ascend to [workspace] manifest)
+  --config FILE      lint.toml (default: ROOT/lint.toml; built-ins otherwise)
+  --format FMT       human (default), json (deterministic, sorted) or
+                     sarif (SARIF 2.1 export for inline CI annotations)
+  --callgraph FILE   also write the call-graph JSON report (nodes, edges,
+                     per-fn panic distance) to FILE
+  --update-baseline  regenerate ROOT/panic_reach.toml from the current
+                     P2 findings and exit 0
 
 RULES (levels from lint.toml [levels]; all deny by default)
   D1  nondeterminism sources in library code (HashMap/HashSet,
@@ -399,6 +609,12 @@ RULES (levels from lint.toml [levels]; all deny by default)
   L1  crate [dependencies] edge not in the declared layering DAG
   U1  unsafe code (not suppressible)
   A1  malformed // demt-lint: allow(RULE, reason) directive
+  P2  pub library fn that transitively reaches a panic site over the
+      workspace call graph (annotated P1 sites included; [p2] index_edges
+      adds indexing); allow(P2) or the panic_reach.toml baseline accept it
+  A2  stale allow(...) directive that no longer suppresses anything
+  D2  fold/sum over possibly-float items without a provably-ordered
+      iteration source ([d2] ordered_sources whitelists reductions)
 
 Per-line escape hatch (same line or line above, reason required):
   // demt-lint: allow(P1, invariant: xs is non-empty here)

@@ -68,7 +68,7 @@ fn kind(toks: &[Token], i: usize) -> Option<TokenKind> {
 
 /// If `toks[i]` starts an attribute (`#[…]` or `#![…]`), returns
 /// `(mentions cfg-test or #[test], is inner, index past the closing ])`.
-fn parse_attr(toks: &[Token], i: usize) -> Option<(bool, bool, usize)> {
+pub(crate) fn parse_attr(toks: &[Token], i: usize) -> Option<(bool, bool, usize)> {
     if text(toks, i) != Some("#") {
         return None;
     }
@@ -116,8 +116,28 @@ fn parse_attr(toks: &[Token], i: usize) -> Option<(bool, bool, usize)> {
     Some((is_test, inner, j + 1))
 }
 
-/// Runs D1/P1/F1/U1/A1 over one lexed file.
+/// Runs D1/P1/F1/U1/A1 over one lexed file, applies the escape hatch
+/// and drops allow-level findings — the single-file convenience entry.
+/// The workspace driver instead uses [`scan_tokens`] +
+/// [`apply_directives`] so semantic diagnostics (P2/D2) participate in
+/// suppression and stale-directive (A2) accounting.
 pub fn lint_tokens(
+    path: &str,
+    lexed: &Lexed,
+    file_kind: FileKind,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let raw = scan_tokens(path, lexed, file_kind, cfg);
+    let (mut kept, a2) = apply_directives(path, lexed, raw, cfg);
+    kept.extend(a2);
+    kept.retain(|d| d.level != Level::Allow);
+    kept
+}
+
+/// Runs the token rules over one lexed file and returns *raw*
+/// diagnostics: no directive suppression applied, allow-level findings
+/// included (the driver needs them for usage accounting).
+pub fn scan_tokens(
     path: &str,
     lexed: &Lexed,
     file_kind: FileKind,
@@ -137,9 +157,6 @@ pub fn lint_tokens(
 
     let emit = |rule: &str, t: &Token, message: String, out: &mut Vec<Diagnostic>| {
         let level = cfg.level(rule);
-        if level == Level::Allow {
-            return;
-        }
         out.push(Diagnostic {
             rule: rule.to_string(),
             level,
@@ -332,44 +349,85 @@ pub fn lint_tokens(
         i += 1;
     }
 
-    // ---- the escape hatch ----
-    // A valid directive suppresses matching diagnostics on its own line
-    // (trailing comment) and on the following line (comment above the
-    // code). U1 is not suppressible. Malformed or reason-less
-    // directives become A1 diagnostics instead.
-    let mut suppress: Vec<(&str, u32)> = Vec::new();
+    // Malformed or reason-less directives become A1 diagnostics here;
+    // the *valid* ones are applied by [`apply_directives`].
     for d in &lexed.directives {
         match (&d.rule, &d.reason) {
-            (Some(rule), Some(_)) if known_rule(rule) && rule != "U1" => {
-                suppress.push((rule.as_str(), d.line));
-            }
+            (Some(rule), Some(_)) if known_rule(rule) && rule != "U1" => {}
             _ => {
-                let level = cfg.level("A1");
-                if level != Level::Allow {
-                    let what = match &d.rule {
-                        None => "expected `// demt-lint: allow(RULE, reason)`".to_string(),
-                        Some(r) if !known_rule(r) => format!("unknown rule id `{r}`"),
-                        Some(r) if r == "U1" => "U1 cannot be allowed".to_string(),
-                        Some(r) => format!("allow({r}) needs a reason string"),
-                    };
-                    raw.push(Diagnostic {
-                        rule: "A1".to_string(),
-                        level,
-                        path: path.to_string(),
-                        line: d.line,
-                        col: 1,
-                        message: format!("malformed demt-lint directive: {what}"),
-                    });
-                }
+                let what = match &d.rule {
+                    None => "expected `// demt-lint: allow(RULE, reason)`".to_string(),
+                    Some(r) if !known_rule(r) => format!("unknown rule id `{r}`"),
+                    Some(r) if r == "U1" => "U1 cannot be allowed".to_string(),
+                    Some(r) => format!("allow({r}) needs a reason string"),
+                };
+                raw.push(Diagnostic {
+                    rule: "A1".to_string(),
+                    level: cfg.level("A1"),
+                    path: path.to_string(),
+                    line: d.line,
+                    col: 1,
+                    message: format!("malformed demt-lint directive: {what}"),
+                });
             }
         }
     }
-    raw.retain(|diag| {
-        !suppress
-            .iter()
-            .any(|(rule, line)| *rule == diag.rule && (diag.line == *line || diag.line == line + 1))
-    });
     raw
+}
+
+/// The escape hatch, with usage accounting. A valid directive
+/// suppresses matching diagnostics on its own line (trailing comment)
+/// and on the following line (comment above the code); U1 is never
+/// suppressible. Returns the surviving diagnostics plus one **A2**
+/// finding per valid directive that suppressed nothing — a stale
+/// `allow(…)` is itself a defect, because it silently licenses a
+/// violation that could reappear later. `raw` must contain *every*
+/// diagnostic for `path` (token and semantic), or live directives
+/// would be misreported as stale.
+pub fn apply_directives(
+    path: &str,
+    lexed: &Lexed,
+    raw: Vec<Diagnostic>,
+    cfg: &Config,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut suppress: Vec<(&str, u32, usize)> = Vec::new(); // (rule, line, hits)
+    for d in &lexed.directives {
+        if let (Some(rule), Some(_)) = (&d.rule, &d.reason) {
+            if known_rule(rule) && rule != "U1" {
+                suppress.push((rule.as_str(), d.line, 0));
+            }
+        }
+    }
+    let kept: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|diag| {
+            let mut hit = false;
+            for (rule, line, hits) in suppress.iter_mut() {
+                if *rule == diag.rule && (diag.line == *line || diag.line == *line + 1) {
+                    *hits += 1;
+                    hit = true;
+                }
+            }
+            !hit
+        })
+        .collect();
+    let a2: Vec<Diagnostic> = suppress
+        .iter()
+        .filter(|(_, _, hits)| *hits == 0)
+        .map(|(rule, line, _)| Diagnostic {
+            rule: "A2".to_string(),
+            level: cfg.level("A2"),
+            path: path.to_string(),
+            line: *line,
+            col: 1,
+            message: format!(
+                "stale suppression: `allow({rule}, …)` matches no {rule} finding \
+                 on this or the next line — delete the directive (or fix the \
+                 scope it was meant to cover)"
+            ),
+        })
+        .collect();
+    (kept, a2)
 }
 
 #[cfg(test)]
@@ -482,9 +540,22 @@ pub fn f(a: f64, b: f64) -> bool {
         assert!(run(trailing, FileKind::Library).is_empty());
         let above = "// demt-lint: allow(P1, seeded by caller)\npub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }";
         assert!(run(above, FileKind::Library).is_empty());
+        // A directive for the wrong rule suppresses nothing — the P1
+        // still fires AND the directive itself is stale (A2).
         let wrong_rule =
             "pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() } // demt-lint: allow(F1, wrong id)";
-        assert_eq!(rules_of(&run(wrong_rule, FileKind::Library)), vec!["P1"]);
+        assert_eq!(
+            rules_of(&run(wrong_rule, FileKind::Library)),
+            vec!["P1", "A2"]
+        );
+    }
+
+    #[test]
+    fn stale_directives_are_a2() {
+        let src = "// demt-lint: allow(P1, legacy justification)\npub fn ok() -> u32 { 1 }";
+        let d = run(src, FileKind::Library);
+        assert_eq!(rules_of(&d), vec!["A2"]);
+        assert_eq!(d[0].line, 1, "anchored at the directive");
     }
 
     #[test]

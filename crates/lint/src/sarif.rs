@@ -1,0 +1,98 @@
+//! A minimal SARIF 2.1.0 emitter (`demt lint --format sarif`).
+//!
+//! Just enough of the standard for GitHub code scanning to annotate
+//! findings inline: one run, the driver's rule table, and one result
+//! per diagnostic with a physical location. The sorted-JSON format
+//! ([`crate::render_json`]) remains the determinism/golden surface —
+//! SARIF is an *export*, not a contract, but it is still rendered from
+//! the sorted diagnostics list so two runs stay byte-identical.
+
+use crate::config::RULES;
+use crate::{Level, Report};
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn render_sarif(report: &Report) -> String {
+    // The vendored `json!` macro takes one object level at a time, so
+    // nested SARIF structures are composed from the inside out.
+    let rules: Vec<serde_json::Value> = RULES
+        .iter()
+        .map(|(id, summary)| {
+            let short = serde_json::json!({ "text": summary });
+            serde_json::json!({ "id": id, "shortDescription": short })
+        })
+        .collect();
+    let results: Vec<serde_json::Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let region = serde_json::json!({
+                "startLine": d.line,
+                "startColumn": d.col,
+            });
+            let artifact = serde_json::json!({ "uri": d.path });
+            let physical = serde_json::json!({
+                "artifactLocation": artifact,
+                "region": region,
+            });
+            let location = serde_json::json!({ "physicalLocation": physical });
+            let message = serde_json::json!({ "text": d.message });
+            serde_json::json!({
+                "ruleId": d.rule,
+                "level": match d.level {
+                    Level::Deny => "error",
+                    Level::Warn => "warning",
+                    Level::Allow => "note",
+                },
+                "message": message,
+                "locations": serde_json::json!([location]),
+            })
+        })
+        .collect();
+    let driver = serde_json::json!({ "name": "demt-lint", "rules": rules });
+    let tool = serde_json::json!({ "driver": driver });
+    let run = serde_json::json!({ "tool": tool, "results": results });
+    let doc = serde_json::json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": serde_json::json!([run]),
+    });
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("{}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "P1".to_string(),
+                level: Level::Deny,
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                col: 7,
+                message: "`.unwrap()` in library code".to_string(),
+            }],
+            files_scanned: 1,
+            callgraph_json: String::new(),
+        };
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"ruleId\": \"P1\""));
+        assert!(sarif.contains("\"level\": \"error\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        // Every known rule is declared in the driver table.
+        for (id, _) in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{id}\"")), "{id}");
+        }
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        let report = Report::default();
+        assert_eq!(render_sarif(&report), render_sarif(&report));
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture for rule A2: a well-formed directive whose rule no
+// longer fires on its line or the next — dead suppressions rot into
+// false documentation, so they are deny findings themselves.
+// Never compiled; read by crates/lint/tests/rules.rs.
+pub fn tidy(v: &[u32]) -> Option<u32> {
+    // demt-lint: allow(P1, nothing here panics anymore)
+    v.first().copied()
+}

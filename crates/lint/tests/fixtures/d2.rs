@@ -1,0 +1,12 @@
+// Known-bad fixture for rule D2: a float accumulation over an opaque
+// iterator (no ordered-source evidence), next to the slice-backed
+// chain that stays clean. Float addition is not associative, so an
+// accumulation whose visit order can vary breaks byte-identical
+// reports. Never compiled; read by crates/lint/tests/rules.rs.
+pub fn unordered_total(it: impl Iterator<Item = f64>) -> f64 {
+    it.sum::<f64>()
+}
+
+pub fn ordered_total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

@@ -1,0 +1,12 @@
+// Known-bad fixture for rule P2: `entry` never panics itself, but it
+// calls a helper whose own panic is P1-suppressed — reachability
+// pierces the annotation, because the panic still exists at runtime.
+// Never compiled; read by crates/lint/tests/rules.rs.
+fn helper(v: &[u32]) -> u32 {
+    // demt-lint: allow(P1, fixture helper panics by design)
+    *v.first().expect("non-empty")
+}
+
+pub fn entry(v: &[u32]) -> u32 {
+    helper(v)
+}

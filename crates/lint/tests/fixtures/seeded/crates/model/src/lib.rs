@@ -1,5 +1,6 @@
-// Seeded library file violating D1, P1, F1 and U1. Never compiled;
-// the CI negative check lints this tree and expects a nonzero exit.
+// Seeded library file violating D1, P1, F1, U1 and the semantic rules
+// P2, A2 and D2. Never compiled; the CI negative check lints this tree
+// and expects a nonzero exit.
 use std::collections::HashMap;
 
 pub fn seeded_d1(keys: &[u32]) -> usize {
@@ -20,4 +21,17 @@ pub fn seeded_f1(x: f64) -> bool {
 
 pub fn seeded_u1(v: &[u8]) -> u8 {
     unsafe { *v.get_unchecked(0) }
+}
+
+pub fn seeded_p2(v: &[u32]) -> u32 {
+    seeded_p1(v)
+}
+
+pub fn seeded_a2(x: u32) -> u32 {
+    // demt-lint: allow(D1, seeded stale directive suppressing nothing)
+    x + 1
+}
+
+pub fn seeded_d2(it: impl Iterator<Item = f64>) -> f64 {
+    it.sum::<f64>()
 }

@@ -11,9 +11,12 @@ const FIXTURES: &[(&str, &str)] = &[
         include_str!("fixtures/allow_bad.rs"),
     ),
     ("fixtures/allow_ok.rs", include_str!("fixtures/allow_ok.rs")),
+    ("fixtures/a2.rs", include_str!("fixtures/a2.rs")),
     ("fixtures/d1.rs", include_str!("fixtures/d1.rs")),
+    ("fixtures/d2.rs", include_str!("fixtures/d2.rs")),
     ("fixtures/f1.rs", include_str!("fixtures/f1.rs")),
     ("fixtures/p1.rs", include_str!("fixtures/p1.rs")),
+    ("fixtures/p2.rs", include_str!("fixtures/p2.rs")),
     ("fixtures/u1.rs", include_str!("fixtures/u1.rs")),
 ];
 
@@ -92,6 +95,72 @@ fn u1_applies_even_to_test_code() {
         .unwrap();
     let diags = lint_source("fixtures/u1.rs", src, FileKind::Test, &Config::default());
     assert_eq!(rules_of(&diags), vec!["A1", "U1"]);
+}
+
+#[test]
+fn p2_fires_through_an_allowed_p1_site() {
+    // The helper's own panic is P1-suppressed, yet the pub caller is
+    // still flagged: suppression silences the report, not the panic.
+    let diags = lint_fixture("fixtures/p2.rs");
+    assert_eq!(rules_of(&diags), vec!["P2"]);
+    let msg = &diags[0].message;
+    assert!(msg.contains("entry"), "names the pub fn: {msg}");
+    assert!(msg.contains("helper"), "shows the call chain: {msg}");
+    assert!(msg.contains("expect"), "names the panic site: {msg}");
+}
+
+#[test]
+fn p2_exempts_binary_and_test_code() {
+    let (_, src) = FIXTURES
+        .iter()
+        .find(|(n, _)| *n == "fixtures/p2.rs")
+        .unwrap();
+    for kind in [FileKind::Binary, FileKind::Test] {
+        let diags = lint_source("fixtures/p2.rs", src, kind, &Config::default());
+        // The fixture's directive goes stale outside library code (P1
+        // itself no longer fires), but no reachability finding remains.
+        assert!(
+            diags.iter().all(|d| d.rule != "P2"),
+            "{kind:?} code may reach panics: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn a2_flags_the_stale_suppression() {
+    let diags = lint_fixture("fixtures/a2.rs");
+    assert_eq!(rules_of(&diags), vec!["A2"]);
+    assert!(
+        diags[0].message.contains("stale suppression"),
+        "message: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn d2_flags_only_the_unordered_accumulation() {
+    let diags = lint_fixture("fixtures/d2.rs");
+    assert_eq!(rules_of(&diags), vec!["D2"]);
+    assert!(
+        diags[0].message.contains("sum"),
+        "names the accumulator: {}",
+        diags[0].message
+    );
+    // The slice-backed chain right below must stay clean, so exactly
+    // one finding comes out of the two accumulations.
+    assert_eq!(diags.len(), 1);
+}
+
+#[test]
+fn d2_exempts_binary_and_test_code() {
+    let (_, src) = FIXTURES
+        .iter()
+        .find(|(n, _)| *n == "fixtures/d2.rs")
+        .unwrap();
+    for kind in [FileKind::Binary, FileKind::Test] {
+        let diags = lint_source("fixtures/d2.rs", src, kind, &Config::default());
+        assert!(diags.is_empty(), "{kind:?} code may accumulate: {diags:?}");
+    }
 }
 
 #[test]

@@ -48,6 +48,27 @@ fn json_output_is_deterministic() {
     assert_eq!(a, b, "two consecutive runs must be byte-identical");
 }
 
+/// The derived surfaces ride the same determinism contract as the
+/// sorted diagnostics: two runs render byte-identical call-graph and
+/// SARIF documents.
+#[test]
+fn callgraph_and_sarif_are_deterministic() {
+    let root = repo_root();
+    let cfg = repo_config(&root);
+    let a = run_workspace(&root, &cfg).expect("run 1");
+    let b = run_workspace(&root, &cfg).expect("run 2");
+    assert!(!a.callgraph_json.is_empty(), "callgraph rendered");
+    assert_eq!(
+        a.callgraph_json, b.callgraph_json,
+        "call-graph report must be byte-identical across runs"
+    );
+    assert_eq!(
+        demt_lint::sarif::render_sarif(&a),
+        demt_lint::sarif::render_sarif(&b),
+        "SARIF export must be byte-identical across runs"
+    );
+}
+
 /// Negative test: the CLI must FAIL (exit 1) on the seeded fixture
 /// workspace and flag every rule class that was planted there.
 #[test]
@@ -65,7 +86,7 @@ fn cli_fails_on_the_seeded_workspace() {
         "seeded violations must fail the run"
     );
     let stdout = String::from_utf8(out.stdout).expect("json is utf-8");
-    for rule in ["D1", "P1", "F1", "U1", "L1"] {
+    for rule in ["D1", "P1", "F1", "U1", "L1", "P2", "A2", "D2"] {
         assert!(
             stdout.contains(&format!("\"rule\": \"{rule}\"")),
             "seeded {rule} not reported:\n{stdout}"

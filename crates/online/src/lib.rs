@@ -28,7 +28,7 @@
 #![warn(missing_docs)]
 
 use demt_api::{Scheduler, SchedulerContext};
-use demt_model::{Instance, MoldableTask, TaskId};
+use demt_model::{Instance, ModelError, MoldableTask, TaskId};
 use demt_platform::{Placement, Schedule};
 
 /// One on-line job: a moldable task plus its release date. Job ids must
@@ -92,6 +92,9 @@ pub enum OnlineError {
         /// Machine size `m`.
         procs: usize,
     },
+    /// The validated feed still failed instance assembly — a task the
+    /// per-job checks cannot see is malformed (bad weight or times).
+    InvalidInstance(ModelError),
 }
 
 impl std::fmt::Display for OnlineError {
@@ -115,6 +118,9 @@ impl std::fmt::Display for OnlineError {
                     f,
                     "{task}: task vector covers {covers} processors, machine has {procs}"
                 )
+            }
+            OnlineError::InvalidInstance(ref e) => {
+                write!(f, "feed failed instance assembly: {e}")
             }
         }
     }
@@ -161,7 +167,7 @@ pub fn try_online_batch_schedule(
             });
         }
     }
-    Ok(batch_schedule_validated(m, jobs, scheduler))
+    batch_schedule_validated(m, jobs, scheduler)
 }
 
 /// Panicking wrapper around [`try_online_batch_schedule`] for feeds
@@ -180,10 +186,9 @@ fn batch_schedule_validated(
     m: usize,
     jobs: &[OnlineJob],
     scheduler: &dyn Scheduler,
-) -> OnlineResult {
+) -> Result<OnlineResult, OnlineError> {
     let full = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
-        // demt-lint: allow(P1, try_online_batch_schedule validated dense ids before delegating here)
-        .expect("dense ids validated above");
+        .map_err(OnlineError::InvalidInstance)?;
 
     let mut ctx = SchedulerContext::new();
     let mut done = vec![false; jobs.len()];
@@ -209,8 +214,11 @@ fn batch_schedule_validated(
             continue;
         }
         ready.sort();
-        // demt-lint: allow(P1, ready ids come from enumerate over jobs so every one is in range)
-        let (sub, mapping) = full.restrict(&ready).expect("ready ids are in range");
+        // Ready ids come from enumerate over jobs, so every one is in
+        // range; a disagreement surfaces as a typed error.
+        let (sub, mapping) = full
+            .restrict(&ready)
+            .map_err(OnlineError::InvalidInstance)?;
         let inner = scheduler.schedule(&sub, &mut ctx).schedule;
         assert_eq!(inner.len(), sub.len(), "off-line scheduler dropped a job");
         let length = inner.makespan();
@@ -232,7 +240,7 @@ fn batch_schedule_validated(
         now += length.max(f64::MIN_POSITIVE);
     }
 
-    OnlineResult { schedule, batches }
+    Ok(OnlineResult { schedule, batches })
 }
 
 /// Release-date vector of a job list, for

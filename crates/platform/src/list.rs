@@ -351,8 +351,11 @@ impl FreeSet {
     fn full(m: usize) -> Self {
         let mut words = vec![u64::MAX; m.div_ceil(64)];
         if !m.is_multiple_of(64) {
-            // demt-lint: allow(P1, m % 64 ≠ 0 here so words has ⌈m/64⌉ ≥ 1 entries)
-            *words.last_mut().expect("m ≥ 1") = (1u64 << (m % 64)) - 1;
+            // m % 64 ≠ 0 here, so words has ⌈m/64⌉ ≥ 1 entries and the
+            // if-let always takes the Some arm.
+            if let Some(w) = words.last_mut() {
+                *w = (1u64 << (m % 64)) - 1;
+            }
         }
         Self {
             words,
@@ -463,10 +466,12 @@ fn greedy(m: usize, tasks: &[ListTask]) -> Schedule {
         // Release all processors freed at (or before) `now`.
         while let Some((Reverse(EventTime(t)), _)) = events.peek() {
             if *t <= now + 1e-15 {
-                // demt-lint: allow(P1, peek just returned Some under the same borrow so pop yields that event)
-                let (_, procs) = events.pop().expect("peeked");
-                for q in procs {
-                    free.insert(q);
+                // Peek just returned Some under the same borrow, so
+                // pop yields that event; the if-let keeps this panic-free.
+                if let Some((_, procs)) = events.pop() {
+                    for q in procs {
+                        free.insert(q);
+                    }
                 }
             } else {
                 break;
@@ -565,9 +570,12 @@ mod scan {
             // Release all processors freed at (or before) `now`.
             while let Some((Reverse(EventTime(t)), _)) = events.peek() {
                 if *t <= now + 1e-15 {
-                    // demt-lint: allow(P1, peek just returned Some under the same borrow so pop yields that event)
-                    let (_, procs) = events.pop().expect("peeked");
-                    free.extend(procs);
+                    // Peek just returned Some under the same borrow, so
+                    // pop yields that event; the if-let keeps this
+                    // panic-free.
+                    if let Some((_, procs)) = events.pop() {
+                        free.extend(procs);
+                    }
                 } else {
                     break;
                 }

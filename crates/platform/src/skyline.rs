@@ -143,10 +143,14 @@ impl Skyline {
             Bound::Included(TimeKey(start)),
             Bound::Excluded(TimeKey(end)),
         )) {
-            *f = f
-                .checked_sub(k)
-                // demt-lint: allow(P1, release-assert: an overcommit here is a scheduler bug that must not produce a silent bad schedule)
-                .expect("skyline overcommitted: fewer than k processors free");
+            let rem = f.checked_sub(k);
+            // Release-assert: an overcommit here is a scheduler bug
+            // that must not produce a silent bad schedule.
+            assert!(
+                rem.is_some(),
+                "skyline overcommitted: fewer than {k} processors free"
+            );
+            *f = rem.unwrap_or(0);
         }
     }
 
@@ -169,22 +173,28 @@ impl Skyline {
             ready >= 0.0 && ready.is_finite() && duration > 0.0 && duration.is_finite(),
             "bad fit query at {ready} for {duration}"
         );
-        let floor = *self
+        // Construction seeds a segment at time 0 and carves never
+        // remove it; scanning from the start is a sound (if slower)
+        // fallback should that invariant ever break.
+        let floor = self
             .segs
             .range(..=TimeKey(ready))
             .next_back()
-            // demt-lint: allow(P1, construction seeds a segment at time 0 and carves never remove it)
-            .expect("skyline always has a segment at 0")
-            .0;
+            .map(|(&k, _)| k)
+            .unwrap_or(TimeKey(0.0));
         let mut cand = ready;
         let mut it = self.segs.range(floor..).peekable();
         while let Some((_, &f)) = it.next() {
             let next = it.peek().map(|(&TimeKey(t), _)| t);
             if f < k {
                 // Window cannot start (or continue) here: restart the
-                // candidate at the next segment boundary.
-                // demt-lint: allow(P1, the last segment keeps all committed windows finite so f ≥ k there and next exists)
-                cand = next.expect("final skyline segment is fully free");
+                // candidate at the next segment boundary. The last
+                // segment keeps all committed windows finite, so f ≥ k
+                // there and `next` exists on this branch.
+                let Some(t) = next else {
+                    break;
+                };
+                cand = t;
             } else if next.map(|t| cand + duration <= t).unwrap_or(true) {
                 return cand;
             }
@@ -254,8 +264,10 @@ impl Frontier {
             }
             need -= group.len();
         }
-        // demt-lint: allow(P1, the groups always partition all m processors and k ≤ m was asserted)
-        let boundary = boundary.expect("frontier always holds all m processors");
+        // Release-assert: the groups always partition all m processors
+        // and k ≤ m was asserted, so the scan above found a boundary.
+        assert!(boundary.is_some(), "frontier always holds all m processors");
+        let boundary = boundary.unwrap_or(TimeKey(0.0));
         let start = boundary.0.max(ready);
 
         // Take every group strictly before the boundary whole, then the
@@ -266,16 +278,25 @@ impl Frontier {
             .first_key_value()
             .is_some_and(|(&key, _)| key < boundary)
         {
-            // demt-lint: allow(P1, the while condition just observed a first entry under the same borrow)
-            let (_, group) = self.groups.pop_first().expect("checked non-empty");
+            // The while condition just observed a first entry under the
+            // same borrow, so the else arm never runs.
+            let Some((_, group)) = self.groups.pop_first() else {
+                break;
+            };
             procs.extend(group);
         }
-        // demt-lint: allow(P1, boundary was found among the group keys and only earlier groups were drained)
-        let group = self.groups.get_mut(&boundary).expect("boundary exists");
-        procs.extend(group.drain(..need));
-        if group.is_empty() {
-            self.groups.remove(&boundary);
+        // Boundary was found among the group keys and only earlier
+        // groups were drained, so the lookup succeeds.
+        if let Some(group) = self.groups.get_mut(&boundary) {
+            procs.extend(group.drain(..need.min(group.len())));
+            if group.is_empty() {
+                self.groups.remove(&boundary);
+            }
         }
+        // Release-assert: a shortfall here means the frontier lost
+        // processors — a scheduler bug that must not place the task on
+        // a partial set.
+        assert_eq!(procs.len(), k, "frontier claim came up short");
         procs.sort_unstable();
 
         // The claimed processors free up together at start + duration;

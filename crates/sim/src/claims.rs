@@ -26,7 +26,11 @@ pub struct Claim {
 }
 
 fn avg(fig: &FigureResult, alg: Algorithm, crit: &str, point: usize) -> f64 {
-    let s = fig.points[point].series_of(alg);
+    // A missing series yields NaN, which fails every claim comparison —
+    // the right outcome for a truncated report.
+    let Some(s) = fig.points[point].series_of(alg) else {
+        return f64::NAN;
+    };
     if crit == "cmax" {
         s.cmax.average()
     } else {

@@ -124,15 +124,11 @@ pub struct PointResult {
 }
 
 impl PointResult {
-    /// Series lookup.
-    pub fn series_of(&self, alg: Algorithm) -> &AlgSeries {
-        &self
-            .series
-            .iter()
-            .find(|(a, _)| *a == alg)
-            // demt-lint: allow(P1, PointResult construction zips series over Algorithm::ALL so every entry exists)
-            .expect("all algorithms present")
-            .1
+    /// Series lookup. Construction zips the series over
+    /// [`Algorithm::ALL`], so this only returns `None` for a point
+    /// deserialized from a foreign or truncated report.
+    pub fn series_of(&self, alg: Algorithm) -> Option<&AlgSeries> {
+        self.series.iter().find(|(a, _)| *a == alg).map(|(_, s)| s)
     }
 }
 
@@ -522,7 +518,12 @@ mod tests {
             ..demt_core::DemtConfig::default()
         };
         let raw_pt = run_point(&cfg, WorkloadKind::Mixed, 30);
-        let demt_minsum = |p: &PointResult| p.series_of(Algorithm::Demt).minsum.sum_value;
+        let demt_minsum = |p: &PointResult| {
+            p.series_of(Algorithm::Demt)
+                .expect("demt series")
+                .minsum
+                .sum_value
+        };
         assert!(
             demt_minsum(&raw_pt) > demt_minsum(&default_pt),
             "raw batches {} should be worse than compacted {}",
@@ -530,7 +531,12 @@ mod tests {
             demt_minsum(&default_pt)
         );
         // The baselines are untouched by the DEMT override.
-        let gang = |p: &PointResult| p.series_of(Algorithm::Gang).minsum.sum_value;
+        let gang = |p: &PointResult| {
+            p.series_of(Algorithm::Gang)
+                .expect("gang series")
+                .minsum
+                .sum_value
+        };
         assert_eq!(gang(&raw_pt), gang(&default_pt));
     }
 

@@ -22,7 +22,9 @@ pub fn figure_csv(fig: &FigureResult) -> String {
     for p in &fig.points {
         let _ = write!(s, "{}", p.tasks);
         for alg in Algorithm::ALL {
-            let series = p.series_of(alg);
+            let Some(series) = p.series_of(alg) else {
+                continue;
+            };
             for acc in [&series.minsum, &series.cmax] {
                 let _ = write!(
                     s,
@@ -69,7 +71,9 @@ pub fn ratio_table(fig: &FigureResult, criterion: &str) -> String {
     for p in &fig.points {
         let _ = write!(s, "{:>6}", p.tasks);
         for alg in Algorithm::ALL {
-            let series = p.series_of(alg);
+            let Some(series) = p.series_of(alg) else {
+                continue;
+            };
             let acc = if criterion == "cmax" {
                 &series.cmax
             } else {
@@ -92,7 +96,9 @@ pub fn ascii_plot(fig: &FigureResult, criterion: &str, y_max: f64) -> String {
     let mut grid = vec![vec![' '; width]; HEIGHT];
     for (pi, p) in fig.points.iter().enumerate() {
         for (ai, alg) in Algorithm::ALL.iter().enumerate() {
-            let series = p.series_of(*alg);
+            let Some(series) = p.series_of(*alg) else {
+                continue;
+            };
             let acc = if criterion == "cmax" {
                 &series.cmax
             } else {

@@ -52,7 +52,8 @@ fn main() {
 
         // Moldable path: on-line DEMT, resolved from the registry.
         let (mold_inst, _) = moldable_instance(m, &jobs);
-        let demt = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"));
+        let demt = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"))
+            .expect("generated stream is well-formed");
         validate_with_releases(&mold_inst, &demt, Some(&releases)).expect("demt feasible");
 
         println!(

@@ -369,7 +369,8 @@ fn frontend_cmd(opts: &Opts) {
         spec.procs,
         &jobs,
         registry().by_name("demt").expect("demt registered"),
-    );
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
     for (name, s) in [
         ("FCFS (rigid)", &fcfs),
         ("EASY backfill (rigid)", &easy),
@@ -424,7 +425,8 @@ fn swf_cmd(opts: &Opts) {
             met.utilization * 100.0
         );
     }
-    let demt_s = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"));
+    let demt_s = moldable_schedule(m, &jobs, registry().by_name("demt").expect("registered"))
+        .unwrap_or_else(|e| die(&e.to_string()));
     let met = stream_metrics(&jobs, &demt_s, m);
     println!(
         "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>7.0}%",
@@ -482,8 +484,11 @@ COMMANDS
             [--workers W] [--json PATH] [--no-timing] ...
             regenerate the paper's figures on one shared work-stealing
             pool (same driver as the repro binary; `demt repro --help`)
-  lint      [--root DIR] [--config FILE] [--format human|json]
-            static analysis of the workspace source: determinism (D1),
-            panic-freedom (P1), float comparisons (F1), crate layering
-            (L1), unsafe (U1) — the CI hard gate (`demt lint --help`)
+  lint      [--root DIR] [--config FILE] [--format human|json|sarif]
+            [--callgraph PATH] [--update-baseline]
+            static analysis of the workspace source: determinism (D1,
+            D2), panic-freedom (P1) and transitive panic reachability
+            (P2, against the panic_reach.toml baseline), float
+            comparisons (F1), crate layering (L1), unsafe (U1), stale
+            suppressions (A2) — the CI hard gate (`demt lint --help`)
 ";

@@ -28,7 +28,7 @@
 //! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
 //! | [`frontend`] | `demt-frontend` | cluster front-end simulation: job streams, FCFS/EASY queues, SWF traces, response metrics |
 //! | [`divisible`] | `demt-divisible` | divisible-load & preemptive scheduling: McNaughton, Smith gangs, moldable bridging |
-//! | [`lint`] | `demt-lint` | workspace static analyzer: determinism, panic-freedom, float equality, crate layering, unsafe (`demt lint`) |
+//! | [`lint`] | `demt-lint` | workspace static analyzer: parser + symbol table + call graph; determinism, panic-freedom and transitive panic reachability, float equality, crate layering, unsafe, stale suppressions (`demt lint`) |
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's structure
 //! (dual approximation, shelf partition, Graham lists, LP lower bounds,
