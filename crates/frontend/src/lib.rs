@@ -37,10 +37,15 @@ mod metrics;
 mod stream;
 mod swf;
 
+#[doc(hidden)]
+pub use easy::queue_schedule_scan;
 pub use easy::{queue_schedule, queue_schedule_ordered, QueueOrder, QueuePolicy};
 pub use metrics::{job_metrics, stream_metrics, JobMetrics, StreamMetrics, SLOWDOWN_TAU};
 pub use stream::{rigid_request, submit_stream, ArrivalModel, StreamSpec, SubmittedJob};
-pub use swf::{parse_swf, stream_from_swf, write_swf, SwfError, SwfRecord};
+pub use swf::{
+    lift_swf_record, parse_swf, stream_from_swf, write_swf, SwfError, SwfJobStream, SwfReader,
+    SwfRecord,
+};
 
 use demt_api::Scheduler;
 use demt_model::Instance;

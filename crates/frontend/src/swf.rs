@@ -16,6 +16,7 @@ use demt_workload::{downey_speedup, downey_times};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::io::BufRead;
 
 /// One SWF record (the fields this workspace consumes; the remaining
 /// ten are preserved as written by [`write_swf`] with `-1`).
@@ -52,45 +53,110 @@ impl fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
-/// Parses SWF text. Comment lines (starting with `;`) and blank lines
-/// are skipped; each data line must have ≥ 11 fields (the archive's
-/// files always carry all 18).
-pub fn parse_swf(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
-    let mut out = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
-        let trimmed = raw.trim();
-        if trimmed.is_empty() || trimmed.starts_with(';') {
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() < 11 {
-            return Err(SwfError {
-                line,
-                message: format!("expected ≥ 11 fields, found {}", fields.len()),
-            });
-        }
-        let f = |i: usize| -> Result<f64, SwfError> {
-            fields[i].parse().map_err(|_| SwfError {
-                line,
-                message: format!("field {} is not a number: {:?}", i + 1, fields[i]),
-            })
-        };
-        out.push(SwfRecord {
-            job: f(0)? as u64,
-            submit: f(1)?,
-            wait: f(2)?,
-            run_time: f(3)?,
-            procs: f(4)?.max(-1.0) as isize as usize, // -1 → huge; filtered below
-            status: f(10)? as i64,
+/// Parses one SWF data line (1-based `line` for error reporting);
+/// `None` for comment and blank lines.
+fn parse_record_line(line: usize, raw: &str) -> Result<Option<SwfRecord>, SwfError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.starts_with(';') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() < 11 {
+        return Err(SwfError {
+            line,
+            message: format!("expected ≥ 11 fields, found {}", fields.len()),
         });
-        // Normalize the -1 sentinel on processors.
-        if fields[4] == "-1" {
-            // demt-lint: allow(P1, a record was pushed two lines above in the same iteration)
-            out.last_mut().expect("just pushed").procs = 0;
+    }
+    let f = |i: usize| -> Result<f64, SwfError> {
+        fields[i].parse().map_err(|_| SwfError {
+            line,
+            message: format!("field {} is not a number: {:?}", i + 1, fields[i]),
+        })
+    };
+    let mut record = SwfRecord {
+        job: f(0)? as u64,
+        submit: f(1)?,
+        wait: f(2)?,
+        run_time: f(3)?,
+        procs: f(4)?.max(-1.0) as isize as usize, // -1 → huge; normalized below
+        status: f(10)? as i64,
+    };
+    // Normalize the -1 sentinel on processors.
+    if fields[4] == "-1" {
+        record.procs = 0;
+    }
+    Ok(Some(record))
+}
+
+/// Streaming SWF reader: an iterator of records over any
+/// [`io::BufRead`](std::io::BufRead) source, holding one line in memory
+/// at a time — archive traces run to millions of jobs, and the batch
+/// [`parse_swf`] entry point (now a thin wrapper over this) would
+/// materialize them all. Comment and blank lines are skipped; parse and
+/// I/O errors surface as [`SwfError`]s with 1-based line numbers.
+///
+/// ```
+/// use demt_frontend::SwfReader;
+/// let trace = "; header\n1 0 0 100 4 -1 -1 4 120 -1 1 1 1 1 1 -1 -1 -1\n";
+/// let records: Result<Vec<_>, _> = SwfReader::new(trace.as_bytes()).collect();
+/// assert_eq!(records.unwrap().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SwfReader<R> {
+    source: R,
+    line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> SwfReader<R> {
+    /// Reader over any buffered byte source (a `&[u8]`, a
+    /// `BufReader<File>`, a socket…).
+    pub fn new(source: R) -> Self {
+        Self {
+            source,
+            line: 0,
+            buf: String::new(),
         }
     }
-    Ok(out)
+
+    /// 1-based number of the last line read.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl<R: BufRead> Iterator for SwfReader<R> {
+    type Item = Result<SwfRecord, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line += 1;
+            match self.source.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    return Some(Err(SwfError {
+                        line: self.line,
+                        message: format!("I/O error: {e}"),
+                    }))
+                }
+            }
+            match parse_record_line(self.line, &self.buf) {
+                Ok(None) => continue,
+                Ok(Some(record)) => return Some(Ok(record)),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Parses SWF text all at once. Comment lines (starting with `;`) and
+/// blank lines are skipped; each data line must have ≥ 11 fields (the
+/// archive's files always carry all 18). Constant-memory callers
+/// iterate [`SwfReader`] instead.
+pub fn parse_swf(text: &str) -> Result<Vec<SwfRecord>, SwfError> {
+    SwfReader::new(text.as_bytes()).collect()
 }
 
 /// Writes records back to SWF (unknown fields as `-1`).
@@ -115,28 +181,14 @@ pub fn write_swf(records: &[SwfRecord]) -> String {
 /// `T·S(q)`, so `p(q) = T`. Requests larger than `m` are clamped (the
 /// rigid request becomes `m`; the profile keeps its shape). Weights are
 /// drawn `U[1, 10)` as in the paper's experiments.
+// demt-lint: allow(P2, reaches lift_swf_record's expect, whose Downey profiles are valid by construction)
 pub fn stream_from_swf(records: &[SwfRecord], m: usize, seed: u64) -> Vec<SubmittedJob> {
     let mut rng = seeded_rng(seed);
-    let weight_law = Uniform::new(1.0, 10.0);
     let mut jobs = Vec::new();
     for r in records {
-        if r.run_time <= 0.0 || r.procs == 0 {
-            continue;
+        if let Some(job) = lift_swf_record(r, m, TaskId(jobs.len()), &mut rng) {
+            jobs.push(job);
         }
-        let q = r.procs.min(m);
-        let a = (q as f64).max(1.0);
-        let sigma = rng.random_range(0.0..2.0);
-        let seq = r.run_time * downey_speedup(q, a, sigma);
-        let times = downey_times(seq, m, a, sigma);
-        let id = TaskId(jobs.len());
-        let task = MoldableTask::new(id, weight_law.sample(&mut rng), times)
-            // demt-lint: allow(P1, downey_times always yields positive non-increasing profiles MoldableTask::new accepts)
-            .expect("Downey profiles are valid");
-        jobs.push(SubmittedJob {
-            task,
-            release: r.submit.max(0.0),
-            rigid_procs: q,
-        });
     }
     jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
     // Re-identify densely after the sort.
@@ -146,6 +198,95 @@ pub fn stream_from_swf(records: &[SwfRecord], m: usize, seed: u64) -> Vec<Submit
         out.push(j);
     }
     out
+}
+
+/// Lifts one SWF record into a moldable [`SubmittedJob`] under `id`, or
+/// `None` for unusable records (unknown runtime or processors — the
+/// archive convention [`stream_from_swf`] applies). Consumes exactly
+/// two variates from `rng` per *usable* record (σ then weight), so
+/// streaming callers reproduce [`stream_from_swf`]'s profiles
+/// bit-for-bit when they feed records in the same order.
+pub fn lift_swf_record<R: Rng>(
+    r: &SwfRecord,
+    m: usize,
+    id: TaskId,
+    rng: &mut R,
+) -> Option<SubmittedJob> {
+    if r.run_time <= 0.0 || r.procs == 0 {
+        return None;
+    }
+    let q = r.procs.min(m);
+    let a = (q as f64).max(1.0);
+    let sigma = rng.random_range(0.0..2.0);
+    let seq = r.run_time * downey_speedup(q, a, sigma);
+    let times = downey_times(seq, m, a, sigma);
+    let task = MoldableTask::new(id, Uniform::new(1.0, 10.0).sample(rng), times)
+        // demt-lint: allow(P1, downey_times always yields positive non-increasing profiles MoldableTask::new accepts)
+        .expect("Downey profiles are valid");
+    Some(SubmittedJob {
+        task,
+        release: r.submit.max(0.0),
+        rigid_procs: q,
+    })
+}
+
+/// Constant-memory submission stream over a raw SWF byte source: each
+/// record is parsed ([`SwfReader`]) and lifted ([`lift_swf_record`])
+/// on demand, with ids assigned densely in trace order. Because nothing
+/// is buffered, the trace must already be sorted by submit time — the
+/// archive publishes traces that way — and a regression is reported as
+/// an [`SwfError`] naming the offending line. On a sorted trace the
+/// yielded jobs equal `stream_from_swf(&records, m, seed)` bit for bit.
+#[derive(Debug)]
+pub struct SwfJobStream<R> {
+    reader: SwfReader<R>,
+    m: usize,
+    rng: rand::rngs::StdRng,
+    next_id: usize,
+    last_submit: f64,
+}
+
+impl<R: BufRead> SwfJobStream<R> {
+    /// Streams jobs for an `m`-processor cluster from `source`, with
+    /// the same seeded lifting laws as [`stream_from_swf`].
+    pub fn new(source: R, m: usize, seed: u64) -> Self {
+        Self {
+            reader: SwfReader::new(source),
+            m,
+            rng: seeded_rng(seed),
+            next_id: 0,
+            last_submit: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for SwfJobStream<R> {
+    type Item = Result<SubmittedJob, SwfError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let record = match self.reader.next()? {
+                Ok(r) => r,
+                Err(e) => return Some(Err(e)),
+            };
+            if record.submit < self.last_submit {
+                return Some(Err(SwfError {
+                    line: self.reader.line(),
+                    message: format!(
+                        "trace is not sorted by submit time ({} after {}); \
+                         sort it or use the batch reader",
+                        record.submit, self.last_submit
+                    ),
+                }));
+            }
+            self.last_submit = record.submit;
+            let id = TaskId(self.next_id);
+            if let Some(job) = lift_swf_record(&record, self.m, id, &mut self.rng) {
+                self.next_id += 1;
+                return Some(Ok(job));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +372,38 @@ mod tests {
         for w in jobs.windows(2) {
             assert!(w[1].release >= w[0].release);
         }
+    }
+
+    #[test]
+    fn streaming_lift_matches_the_batch_lift_bit_for_bit() {
+        let recs = parse_swf(SAMPLE).unwrap();
+        let batch = stream_from_swf(&recs, 8, 11);
+        let streamed: Vec<SubmittedJob> = SwfJobStream::new(SAMPLE.as_bytes(), 8, 11)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            assert_eq!(a.task.id(), b.task.id());
+            assert_eq!(a.release.to_bits(), b.release.to_bits());
+            assert_eq!(a.rigid_procs, b.rigid_procs);
+            assert_eq!(a.task.weight().to_bits(), b.task.weight().to_bits());
+            for k in 1..=8usize {
+                assert_eq!(a.task.time(k).to_bits(), b.task.time(k).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_lift_rejects_unsorted_traces() {
+        let unsorted = "\
+1 50.0 0.0 10.0 2 -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+2 10.0 0.0 10.0 2 -1 -1 2 -1 -1 1 2 1 1 1 -1 -1 -1
+";
+        let err = SwfJobStream::new(unsorted.as_bytes(), 8, 0)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("sorted"), "{}", err.message);
     }
 
     #[test]

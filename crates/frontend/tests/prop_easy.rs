@@ -1,0 +1,97 @@
+//! Differential oracle for the event-incremental queue engine: on
+//! random rigid job streams, [`queue_schedule_ordered`] (skyline +
+//! bitset engine) must reproduce the retired rescan loop
+//! [`queue_schedule_scan`] **bit for bit** — compared as serialized
+//! JSON, so every start instant, duration, and processor identity list
+//! participates in the equality.
+
+use demt_frontend::{
+    queue_schedule_ordered, queue_schedule_scan, QueueOrder, QueuePolicy, SubmittedJob,
+};
+use demt_model::{MoldableTask, TaskId};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn job(id: usize, release: f64, procs: usize, time: f64, weight: f64, m: usize) -> SubmittedJob {
+    SubmittedJob {
+        task: MoldableTask::rigid(TaskId(id), weight, procs, time, m)
+            .expect("rigid profiles are valid"),
+        release,
+        rigid_procs: procs,
+    }
+}
+
+/// Continuous stream: arbitrary float releases/durations/weights.
+fn continuous_stream() -> impl Strategy<Value = (usize, Vec<SubmittedJob>)> {
+    (2usize..=6).prop_flat_map(|m| {
+        prop::collection::vec((0.0f64..30.0, 1usize..=m, 0.1f64..6.0, 0.5f64..10.0), 0..32)
+            .prop_map(move |rows| {
+                let jobs = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, k, d, w))| job(i, r, k, d, w, m))
+                    .collect();
+                (m, jobs)
+            })
+    })
+}
+
+/// Grid stream: releases and durations on a coarse 0.25 grid so exact
+/// completion/arrival ties (the tolerance-sensitive paths) are common.
+fn grid_stream() -> impl Strategy<Value = (usize, Vec<SubmittedJob>)> {
+    (2usize..=5).prop_flat_map(|m| {
+        prop::collection::vec((0u32..40, 1usize..=m, 1u32..12, 1u32..5), 0..28).prop_map(
+            move |rows| {
+                let jobs = rows
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, k, d, w))| {
+                        job(
+                            i,
+                            f64::from(r) * 0.25,
+                            k,
+                            f64::from(d) * 0.25,
+                            f64::from(w),
+                            m,
+                        )
+                    })
+                    .collect();
+                (m, jobs)
+            },
+        )
+    })
+}
+
+fn assert_engines_agree(m: usize, jobs: &[SubmittedJob]) -> Result<(), TestCaseError> {
+    for policy in [QueuePolicy::Fcfs, QueuePolicy::EasyBackfill] {
+        for order in [QueueOrder::Arrival, QueueOrder::Priority] {
+            let fast = queue_schedule_ordered(m, jobs, policy, order);
+            let scan = queue_schedule_scan(m, jobs, policy, order);
+            let fast_json = serde_json::to_string(&fast).expect("schedules serialize");
+            let scan_json = serde_json::to_string(&scan).expect("schedules serialize");
+            prop_assert_eq!(
+                fast_json,
+                scan_json,
+                "engines diverge under {:?}/{:?} on m={}",
+                policy,
+                order,
+                m
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skyline_engine_matches_the_scan_oracle_continuous((m, jobs) in continuous_stream()) {
+        assert_engines_agree(m, &jobs)?;
+    }
+
+    #[test]
+    fn skyline_engine_matches_the_scan_oracle_on_tie_heavy_grids((m, jobs) in grid_stream()) {
+        assert_engines_agree(m, &jobs)?;
+    }
+}

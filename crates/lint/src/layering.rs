@@ -110,6 +110,18 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "demt-serve",
+        &[
+            "demt-api",
+            "demt-baselines",
+            "demt-exec",
+            "demt-frontend",
+            "demt-model",
+            "demt-online",
+            "demt-platform",
+        ],
+    ),
+    (
         "demt-exact",
         &["demt-model", "demt-platform", "demt-workload"],
     ),
@@ -138,6 +150,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "demt-model",
             "demt-online",
             "demt-platform",
+            "demt-serve",
             "demt-sim",
             "demt-workload",
         ],

@@ -2,6 +2,7 @@
 
 use crate::{approx_le, ModelError, REL_EPS};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Identifier of a task inside an [`crate::Instance`].
 ///
@@ -24,18 +25,138 @@ impl std::fmt::Display for TaskId {
     }
 }
 
+/// Storage of a processing-time vector: the general explicit form, or
+/// the compact two-number form for rigid jobs.
+///
+/// The compact form is what lets an on-line feed of rigid jobs run in
+/// `O(1)` per submit at cluster scale: [`MoldableTask::rigid`] used to
+/// materialize an `m`-entry vector (80 KB per job at `m = 10⁴`, the
+/// dominant cost of the serve daemon's event loop), yet every entry is
+/// one of two values determined by the rigid width. Queries compute
+/// those values on demand; the handful of callers that genuinely need
+/// a `&[f64]` (the dual memo, hand-written tests) get one from a lazy
+/// per-task cache, so the slow path stays available without taxing the
+/// fast one.
+#[derive(Debug, Clone)]
+enum Times {
+    /// Full vector: `v[k-1]` is the execution time on `k` processors.
+    Explicit(Box<[f64]>),
+    /// Rigid emulation over `len` processors: `seq = time·width` below
+    /// `width` (so no scheduler ever prefers a smaller allotment),
+    /// `time` at and above. Bitwise identical to the vector
+    /// [`MoldableTask::rigid`] historically built.
+    Rigid {
+        width: usize,
+        time: f64,
+        seq: f64,
+        len: usize,
+        /// Materialized vector, built on first [`MoldableTask::times`].
+        cache: OnceLock<Box<[f64]>>,
+    },
+}
+
+impl Times {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Times::Explicit(v) => v.len(),
+            Times::Rigid { len, .. } => *len,
+        }
+    }
+
+    /// Execution time on `k` processors (`1 ≤ k ≤ len`).
+    #[inline]
+    fn at(&self, k: usize) -> f64 {
+        match self {
+            Times::Explicit(v) => v[k - 1],
+            Times::Rigid {
+                width, time, seq, ..
+            } => {
+                if k < *width {
+                    *seq
+                } else {
+                    *time
+                }
+            }
+        }
+    }
+
+    /// The vector as a slice, materializing the rigid form once.
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            Times::Explicit(v) => v,
+            Times::Rigid {
+                width,
+                time,
+                seq,
+                len,
+                cache,
+            } => cache.get_or_init(|| {
+                (1..=*len)
+                    .map(|k| if k < *width { *seq } else { *time })
+                    .collect()
+            }),
+        }
+    }
+}
+
+impl PartialEq for Times {
+    /// Value equality: two tasks with the same virtual vector compare
+    /// equal regardless of representation (a rigid task equals its
+    /// materialized twin).
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && (1..=self.len()).all(|k| self.at(k) == other.at(k))
+    }
+}
+
 /// A moldable parallel task (paper §2.1).
 ///
-/// Stores the full vector of processing times `p(1..=max)` — `times[k-1]`
+/// Describes the vector of processing times `p(1..=max)` — `times[k-1]`
 /// is the execution time on `k` processors — and the weight `wᵢ` used by
 /// the `Σ wᵢ Cᵢ` criterion. Construction enforces positive finite values;
 /// monotony is checked separately because some substrates (e.g. rigid-job
-/// emulation) intentionally use non-monotonic vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// emulation) intentionally use non-monotonic vectors. Rigid tasks are
+/// stored compactly (two numbers, not `m`), so building, hashing and
+/// querying them is `O(1)`; see [`MoldableTask::rigid_shape`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoldableTask {
     id: TaskId,
     weight: f64,
-    times: Box<[f64]>,
+    times: Times,
+}
+
+// Serialization stays in the derived named-field format ({"id", "weight",
+// "times": [...]}): both representations serialize as the materialized
+// vector, and deserialization always rebuilds the explicit form (value
+// equality above makes the round trip lossless). Hand-written because
+// the derive cannot see through the internal `Times` enum.
+impl Serialize for MoldableTask {
+    fn serialize(&self) -> serde::Value {
+        let o = vec![
+            ("id".to_string(), serde::Serialize::serialize(&self.id)),
+            (
+                "weight".to_string(),
+                serde::Serialize::serialize(&self.weight),
+            ),
+            (
+                "times".to_string(),
+                serde::Serialize::serialize(&self.times().to_vec()),
+            ),
+        ];
+        serde::Value::Object(o)
+    }
+}
+
+impl Deserialize for MoldableTask {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let serde::Value::Object(obj) = v else {
+            return Err(serde::de::Error::custom("expected a task object"));
+        };
+        let id: TaskId = serde::__field(obj, "id")?;
+        let weight: f64 = serde::__field(obj, "weight")?;
+        let times: Vec<f64> = serde::__field(obj, "times")?;
+        MoldableTask::new(id, weight, times).map_err(serde::de::Error::custom)
+    }
 }
 
 impl MoldableTask {
@@ -65,14 +186,16 @@ impl MoldableTask {
         Ok(Self {
             id,
             weight,
-            times: times.into_boxed_slice(),
+            times: Times::Explicit(times.into_boxed_slice()),
         })
     }
 
     /// Builds a *rigid* task: runnable only on exactly `procs` processors
-    /// out of `m`, emulated in the moldable model by a vector that is
-    /// prohibitively long below `procs` and flat (no speed-up, growing
-    /// work) above. Used by the on-line extension crate.
+    /// out of `m`, emulated in the moldable model by a virtual vector that
+    /// is prohibitively long below `procs` and flat (no speed-up, growing
+    /// work) above. Used by the on-line extension crate. Stored compactly —
+    /// `O(1)` time and space regardless of `m` — while every query answers
+    /// exactly as if the vector had been materialized.
     pub fn rigid(
         id: TaskId,
         weight: f64,
@@ -86,12 +209,34 @@ impl MoldableTask {
         );
         // Below the rigid allotment the task "runs" sequentially with its
         // total work so that no scheduler ever prefers it; at and above it
-        // runs in `time`.
+        // runs in `time`. The historical materialized vector put `seq` at
+        // index 0 (for procs > 1), so value errors report processor 1 with
+        // the seq value exactly as they used to.
         let seq = time * procs as f64;
-        let times = (1..=m)
-            .map(|k| if k < procs { seq } else { time })
-            .collect();
-        Self::new(id, weight, times)
+        if !(seq.is_finite() && seq > 0.0) {
+            return Err(ModelError::NonPositiveTime {
+                task: id.0,
+                procs: 1,
+                value: if procs > 1 { seq } else { time },
+            });
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(ModelError::NonPositiveWeight {
+                task: id.0,
+                value: weight,
+            });
+        }
+        Ok(Self {
+            id,
+            weight,
+            times: Times::Rigid {
+                width: procs,
+                time,
+                seq,
+                len: m,
+                cache: OnceLock::new(),
+            },
+        })
     }
 
     /// Builds a perfectly-parallel (linear speed-up) task of sequential
@@ -147,7 +292,7 @@ impl MoldableTask {
     #[inline]
     pub fn time(&self, k: usize) -> f64 {
         debug_assert!(k >= 1 && k <= self.times.len(), "allotment out of range");
-        self.times[k - 1]
+        self.times.at(k)
     }
 
     /// Work (processors × time) on `k` processors.
@@ -157,27 +302,72 @@ impl MoldableTask {
     }
 
     /// The raw processing-time vector (`[k-1]` ↦ time on `k` procs).
+    /// `O(1)` for explicit tasks; a compactly-stored rigid task
+    /// materializes (and caches) the vector on first call — prefer
+    /// [`MoldableTask::time`] / [`MoldableTask::fastest_alloc`] /
+    /// [`MoldableTask::rigid_shape`] on per-event paths.
     #[inline]
     pub fn times(&self) -> &[f64] {
-        &self.times
+        self.times.as_slice()
+    }
+
+    /// The compact rigid shape `(width, time)` when this task is stored
+    /// in the two-number rigid form, `None` for explicit vectors. Lets
+    /// per-event code (content hashing, allotment choice) stay `O(1)`
+    /// instead of walking `m` entries.
+    #[inline]
+    pub fn rigid_shape(&self) -> Option<(usize, f64)> {
+        match self.times {
+            Times::Rigid { width, time, .. } => Some((width, time)),
+            Times::Explicit(_) => None,
+        }
+    }
+
+    /// First allotment achieving the minimum execution time, with that
+    /// time — the choice a greedy time-optimal scheduler makes (ties
+    /// break to the smallest `k`, which for a rigid task is its width).
+    /// `O(1)` for compact rigid tasks, one scan otherwise.
+    pub fn fastest_alloc(&self) -> (usize, f64) {
+        match self.times {
+            // width > 1 ⇒ seq = time·width > time, so the first minimum
+            // of the virtual vector [seq.., time..] sits exactly at the
+            // width; width == 1 ⇒ the vector is flat at `time`.
+            Times::Rigid { width, time, .. } => (width, time),
+            Times::Explicit(ref v) => {
+                let mut best_k = 1;
+                let mut best_t = v[0];
+                for (i, &t) in v.iter().enumerate().skip(1) {
+                    if t < best_t {
+                        best_t = t;
+                        best_k = i + 1;
+                    }
+                }
+                (best_k, best_t)
+            }
+        }
     }
 
     /// Sequential processing time `p(1)`.
     #[inline]
     pub fn seq_time(&self) -> f64 {
-        self.times[0]
+        self.times.at(1)
     }
 
     /// Fastest achievable processing time, `min_k p(k)` (equals `p(m)`
     /// for monotonic tasks; computed without assuming monotony).
     pub fn min_time(&self) -> f64 {
-        self.times.iter().copied().fold(f64::INFINITY, f64::min)
+        match self.times {
+            // seq = time·width ≥ time for positive times.
+            Times::Rigid { time, .. } => time,
+            Times::Explicit(ref v) => v.iter().copied().fold(f64::INFINITY, f64::min),
+        }
     }
 
     /// Smallest work over all allotments, `min_k k·p(k)` (equals `p(1)`
     /// for monotonic tasks; computed without assuming monotony).
     pub fn min_work(&self) -> f64 {
         self.times
+            .as_slice()
             .iter()
             .enumerate()
             .map(|(i, &t)| (i + 1) as f64 * t)
@@ -190,6 +380,7 @@ impl MoldableTask {
     /// vectors; `O(m)` worst case but returns early on monotonic tasks.
     pub fn min_alloc_within(&self, t: f64) -> Option<usize> {
         self.times
+            .as_slice()
             .iter()
             .position(|&p| approx_le(p, t))
             .map(|i| i + 1)
@@ -200,7 +391,7 @@ impl MoldableTask {
     /// (the paper then uses `+∞`).
     pub fn min_area_within(&self, t: f64) -> Option<f64> {
         let mut best: Option<f64> = None;
-        for (i, &p) in self.times.iter().enumerate() {
+        for (i, &p) in self.times.as_slice().iter().enumerate() {
             if approx_le(p, t) {
                 let area = (i + 1) as f64 * p;
                 best = Some(match best {
@@ -217,7 +408,7 @@ impl MoldableTask {
     /// since work is non-decreasing in `k`.
     pub fn min_area_alloc_within(&self, t: f64) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, &p) in self.times.iter().enumerate() {
+        for (i, &p) in self.times.as_slice().iter().enumerate() {
             if approx_le(p, t) {
                 let area = (i + 1) as f64 * p;
                 if best.is_none_or(|(_, b)| area < b) {
@@ -237,7 +428,7 @@ impl MoldableTask {
     /// First monotony violation if any (for diagnostics).
     pub fn monotony_violation(&self) -> Option<ModelError> {
         for k in 2..=self.times.len() {
-            let (prev, cur) = (self.times[k - 2], self.times[k - 1]);
+            let (prev, cur) = (self.times.at(k - 1), self.times.at(k));
             if !approx_le(cur, prev) {
                 return Some(ModelError::TimeNotNonIncreasing {
                     task: self.id.0,
@@ -260,7 +451,7 @@ impl MoldableTask {
     /// that work is non-decreasing. The sequential time is preserved and
     /// the result always satisfies [`Self::is_monotonic`].
     pub fn monotonized(&self) -> Self {
-        let mut t = self.times.to_vec();
+        let mut t = self.times.as_slice().to_vec();
         for k in 1..t.len() {
             // Non-increasing times.
             if t[k] > t[k - 1] {
@@ -276,7 +467,7 @@ impl MoldableTask {
         Self {
             id: self.id,
             weight: self.weight,
-            times: t.into_boxed_slice(),
+            times: Times::Explicit(t.into_boxed_slice()),
         }
     }
 
@@ -285,14 +476,32 @@ impl MoldableTask {
     /// times non-increasing and work non-decreasing.
     pub fn resized(&self, m: usize) -> Self {
         assert!(m >= 1);
-        // demt-lint: allow(P1, constructors reject empty time vectors so last() always exists)
-        let last = *self.times.last().expect("non-empty by construction");
-        let mut t = self.times.to_vec();
+        // A rigid task stays rigid: flat extension repeats `time`, and a
+        // truncation below the width leaves only `seq` entries — both are
+        // what the virtual vector already answers for any `len`.
+        if let Times::Rigid {
+            width, time, seq, ..
+        } = self.times
+        {
+            return Self {
+                id: self.id,
+                weight: self.weight,
+                times: Times::Rigid {
+                    width,
+                    time,
+                    seq,
+                    len: m,
+                    cache: OnceLock::new(),
+                },
+            };
+        }
+        let last = self.times.at(self.times.len());
+        let mut t = self.times.as_slice().to_vec();
         t.resize(m, last);
         Self {
             id: self.id,
             weight: self.weight,
-            times: t.into_boxed_slice(),
+            times: Times::Explicit(t.into_boxed_slice()),
         }
     }
 
@@ -301,11 +510,9 @@ impl MoldableTask {
     pub fn same_profile(&self, other: &Self) -> bool {
         self.times.len() == other.times.len()
             && (self.weight - other.weight).abs() <= REL_EPS * self.weight.abs().max(1.0)
-            && self
-                .times
-                .iter()
-                .zip(other.times.iter())
-                .all(|(&a, &b)| (a - b).abs() <= REL_EPS * a.abs().max(1.0))
+            && (1..=self.times.len())
+                .map(|k| (self.times.at(k), other.times.at(k)))
+                .all(|(a, b)| (a - b).abs() <= REL_EPS * a.abs().max(1.0))
     }
 }
 

@@ -27,9 +27,11 @@
 
 #![warn(missing_docs)]
 
-use demt_api::{Scheduler, SchedulerContext};
+use demt_api::{DeltaFingerprint, Scheduler, SchedulerContext};
 use demt_model::{Instance, ModelError, MoldableTask, TaskId};
 use demt_platform::{Placement, Schedule};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// One on-line job: a moldable task plus its release date. Job ids must
 /// be dense `0..n` like off-line instances.
@@ -181,66 +183,336 @@ pub fn online_batch_schedule(
     try_online_batch_schedule(m, jobs, scheduler).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The batch loop proper, on a feed that already passed validation.
+/// The batch loop proper, on a feed that already passed validation:
+/// the whole feed is checked for coherent instance assembly (the
+/// historical all-at-once contract), then streamed through a
+/// [`BatchLoop`] — the same incremental core the `demt serve` daemon
+/// drives event by event, which is what makes the daemon's
+/// byte-identity guarantee against this function structural.
 fn batch_schedule_validated(
     m: usize,
     jobs: &[OnlineJob],
     scheduler: &dyn Scheduler,
 ) -> Result<OnlineResult, OnlineError> {
-    let full = Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
+    Instance::new(m, jobs.iter().map(|j| j.task.clone()).collect())
         .map_err(OnlineError::InvalidInstance)?;
+    let mut batch_loop = BatchLoop::new(m);
+    for j in jobs {
+        batch_loop.submit(j.task.clone(), j.release)?;
+    }
+    while batch_loop.pending() > 0 {
+        batch_loop.run_batch(scheduler)?;
+    }
+    Ok(batch_loop.finish())
+}
 
-    let mut ctx = SchedulerContext::new();
-    let mut done = vec![false; jobs.len()];
-    let mut now = 0.0_f64;
-    let mut schedule = Schedule::new(m);
-    let mut batches = Vec::new();
+/// A job waiting for its batch.
+#[derive(Debug, Clone)]
+struct PendingJob {
+    task: MoldableTask,
+    release: f64,
+    /// Cached [`DeltaFingerprint::task_hash`], computed once at submit.
+    hash: u64,
+}
 
-    while done.iter().any(|&d| !d) {
-        let mut ready: Vec<TaskId> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(i, j)| !done[*i] && j.release <= now + 1e-12)
-            .map(|(i, _)| TaskId(i))
-            .collect();
-        if ready.is_empty() {
-            // Fast-forward to the next release.
-            now = jobs
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| !done[*i])
-                .map(|(_, j)| j.release)
-                .fold(f64::INFINITY, f64::min);
-            continue;
+/// The incremental Shmoys–Wein–Williamson core: a persistent event
+/// loop that accepts submits and cancels between batches and re-plans
+/// one batch at a time, instead of requiring the whole feed up front.
+///
+/// State that persists across batches — and is *patched*, never
+/// rebuilt, per event:
+///
+/// * the pending set (keyed by original job id) plus a release-sorted
+///   index, so admitting the next batch is `O(batch + log n)`, not a
+///   rescan of every job;
+/// * per-job content hashes folded into a [`DeltaFingerprint`] at
+///   batch formation, priming the shared [`SchedulerContext`]'s dual
+///   cache in `O(batch)` instead of the `O(n·m)` instance re-hash;
+/// * the machine occupancy [`Skyline`](demt_platform::Skyline)
+///   attached to the context: every placement's window is committed at
+///   decision time and released when its batch completes, so free
+///   capacity is queryable between events while the profile stays
+///   bounded by the windows in flight.
+///
+/// Determinism contract: submitting jobs (dense ids, in id order) and
+/// calling [`BatchLoop::run_batch`] until the pending set drains
+/// produces placements **byte-identical** to
+/// [`try_online_batch_schedule`] on the same feed — the wrapper is
+/// itself implemented on this loop.
+///
+/// ```
+/// use demt_core::DemtScheduler;
+/// use demt_model::{MoldableTask, TaskId};
+/// use demt_online::BatchLoop;
+/// let mut bl = BatchLoop::new(2);
+/// bl.submit(MoldableTask::linear(TaskId(0), 1.0, 4.0, 2).unwrap(), 0.0).unwrap();
+/// bl.run_batch(&DemtScheduler::default()).unwrap();
+/// // A job arriving while the first batch ran joins the next batch.
+/// bl.submit(MoldableTask::linear(TaskId(1), 1.0, 4.0, 2).unwrap(), 0.5).unwrap();
+/// bl.run_batch(&DemtScheduler::default()).unwrap();
+/// assert_eq!(bl.finish().schedule.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct BatchLoop {
+    m: usize,
+    now: f64,
+    /// Next id the feed must submit (ids are dense in submit order).
+    next_id: usize,
+    /// Original job id → pending job.
+    pending: BTreeMap<usize, PendingJob>,
+    /// (release bits, original id): release dates are validated finite
+    /// and non-negative, so the IEEE bit pattern orders like the value.
+    by_release: BTreeSet<(u64, usize)>,
+    ctx: SchedulerContext,
+    schedule: Schedule,
+    batches: Vec<BatchTrace>,
+    /// `(start, end, k)` windows committed to the machine skyline for
+    /// the batch most recently planned, released when the next batch
+    /// starts (virtual time has passed them by then).
+    inflight: Vec<(f64, f64, usize)>,
+}
+
+impl BatchLoop {
+    /// Empty loop over `m` processors at virtual time `0`, with a fresh
+    /// [`SchedulerContext`] carrying the machine skyline.
+    pub fn new(m: usize) -> Self {
+        let mut ctx = SchedulerContext::new();
+        ctx.attach_machine(m);
+        Self {
+            m,
+            now: 0.0,
+            next_id: 0,
+            pending: BTreeMap::new(),
+            by_release: BTreeSet::new(),
+            ctx,
+            schedule: Schedule::new(m),
+            batches: Vec::new(),
+            inflight: Vec::new(),
         }
-        ready.sort();
-        // Ready ids come from enumerate over jobs, so every one is in
-        // range; a disagreement surfaces as a typed error.
-        let (sub, mapping) = full
-            .restrict(&ready)
-            .map_err(OnlineError::InvalidInstance)?;
-        let inner = scheduler.schedule(&sub, &mut ctx).schedule;
+    }
+
+    /// Machine size `m`.
+    pub fn procs(&self) -> usize {
+        self.m
+    }
+
+    /// Current virtual time (end of the last batch, or the instant the
+    /// loop fast-forwarded to).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of jobs submitted but not yet scheduled or cancelled.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Decisions emitted so far.
+    pub fn decisions(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The combined schedule so far — placements are appended in
+    /// decision order, so a caller that remembers
+    /// [`BatchLoop::decisions`] before a [`BatchLoop::run_batch`] call
+    /// can slice exactly the placements that batch emitted.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The shared scheduler context (dual cache, machine skyline).
+    pub fn context(&self) -> &SchedulerContext {
+        &self.ctx
+    }
+
+    /// Earliest release date among pending jobs.
+    pub fn next_release(&self) -> Option<f64> {
+        self.by_release
+            .first()
+            .map(|&(bits, _)| f64::from_bits(bits))
+    }
+
+    /// The instant the next batch would start if no further event
+    /// arrived first: the current time when some pending job is already
+    /// released, otherwise the earliest pending release (`None` with
+    /// nothing pending). An event source may safely run the next batch
+    /// once every unseen event is strictly later than this instant.
+    pub fn next_batch_start(&self) -> Option<f64> {
+        let min_r = self.next_release()?;
+        Some(if min_r <= self.now + 1e-12 {
+            self.now
+        } else {
+            min_r
+        })
+    }
+
+    /// Submits one job with the precomputed content hash — the
+    /// parallel-lift path: callers that build tasks on a worker pool
+    /// hash them there too, keeping this method `O(log n)`. The hash
+    /// must equal [`DeltaFingerprint::task_hash`] of `task`.
+    pub fn submit_hashed(
+        &mut self,
+        task: MoldableTask,
+        release: f64,
+        hash: u64,
+    ) -> Result<(), OnlineError> {
+        debug_assert_eq!(
+            hash,
+            DeltaFingerprint::task_hash(&task),
+            "submitted hash does not match the task content"
+        );
+        if task.id().index() != self.next_id {
+            return Err(OnlineError::NonDenseIds {
+                index: self.next_id,
+                found: task.id(),
+            });
+        }
+        if !(release >= 0.0 && release.is_finite()) {
+            return Err(OnlineError::BadRelease {
+                task: task.id(),
+                release,
+            });
+        }
+        if task.max_procs() != self.m {
+            return Err(OnlineError::MachineMismatch {
+                task: task.id(),
+                covers: task.max_procs(),
+                procs: self.m,
+            });
+        }
+        let id = task.id().index();
+        self.next_id += 1;
+        self.by_release.insert((release.to_bits(), id));
+        self.pending.insert(
+            id,
+            PendingJob {
+                task,
+                release,
+                hash,
+            },
+        );
+        Ok(())
+    }
+
+    /// Submits one job (hashing its content here; see
+    /// [`BatchLoop::submit_hashed`] for the precomputed path). Ids must
+    /// arrive dense `0..` in submit order; release dates must be finite
+    /// and non-negative but may lie in the past (the job simply joins
+    /// the next batch), so completed batches are never re-planned.
+    pub fn submit(&mut self, task: MoldableTask, release: f64) -> Result<(), OnlineError> {
+        let hash = DeltaFingerprint::task_hash(&task);
+        self.submit_hashed(task, release, hash)
+    }
+
+    /// Cancels a pending job. Returns whether it was still pending —
+    /// jobs already placed in a batch are running and stay placed (the
+    /// id remains consumed either way).
+    pub fn cancel(&mut self, id: TaskId) -> bool {
+        match self.pending.remove(&id.index()) {
+            Some(job) => {
+                self.by_release.remove(&(job.release.to_bits(), id.index()));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Plans and (virtually) executes the next batch: fast-forwards
+    /// through an idle gap if nothing is released yet, gathers every
+    /// pending job released by then, hands the sub-instance to the
+    /// off-line `scheduler` with the primed context, appends the
+    /// offset placements, and advances the clock past the batch.
+    /// Returns the number of placements emitted — `0` with nothing
+    /// pending.
+    ///
+    /// On `Err` the loop must be discarded: the batch's jobs have left
+    /// the pending set.
+    pub fn run_batch(&mut self, scheduler: &dyn Scheduler) -> Result<usize, OnlineError> {
+        // Virtual time is about to move past the previous batch: give
+        // its windows back so the skyline stays small forever. Every
+        // window committed since the last drain is in `inflight`, so
+        // releasing them all is an O(1)-shaped reset rather than
+        // per-window carves.
+        if !self.inflight.is_empty() {
+            self.inflight.clear();
+            if let Some(sky) = self.ctx.machine_mut() {
+                sky.reset();
+            }
+        }
+        let Some(min_r) = self.next_release() else {
+            return Ok(0);
+        };
+        if min_r > self.now + 1e-12 {
+            // Fast-forward through the idle gap to the next release.
+            self.now = min_r;
+        }
+
+        // Gather the batch: every pending job released by `now`, in id
+        // order (`BTreeMap` iteration), re-id'd densely.
+        let ready: Vec<usize> = self
+            .by_release
+            .iter()
+            .take_while(|&&(bits, _)| f64::from_bits(bits) <= self.now + 1e-12)
+            .map(|&(_, id)| id)
+            .collect();
+        let mut mapping: Vec<TaskId> = ready.iter().map(|&id| TaskId(id)).collect();
+        mapping.sort();
+        let mut fp = DeltaFingerprint::new(self.m);
+        let mut tasks = Vec::with_capacity(mapping.len());
+        for (new_id, original) in mapping.iter().enumerate() {
+            // demt-lint: allow(P1, every id in `mapping` was just drawn from the pending index)
+            let mut job = self.pending.remove(&original.index()).expect("indexed job");
+            self.by_release
+                .remove(&(job.release.to_bits(), original.index()));
+            fp.push(job.hash);
+            job.task.set_id(TaskId(new_id));
+            tasks.push(job.task);
+        }
+        let sub = Instance::new(self.m, tasks).map_err(OnlineError::InvalidInstance)?;
+        self.ctx.prime_fingerprint(fp.value());
+        let inner = scheduler.schedule(&sub, &mut self.ctx).schedule;
         assert_eq!(inner.len(), sub.len(), "off-line scheduler dropped a job");
         let length = inner.makespan();
         for p in inner.placements() {
             let original = mapping[p.task.index()];
-            schedule.push(Placement {
+            let start = self.now + p.start;
+            // The window end is offset from batch-local coordinates in
+            // one rounding, exactly like the start: `start + duration`
+            // here would re-round and can overlap a bitwise-abutting
+            // neighbor by one ulp (a phantom overcommit).
+            let end = self.now + (p.start + p.duration);
+            self.inflight.push((start, end, p.procs.len()));
+            self.schedule.push(Placement {
                 task: original,
-                start: now + p.start,
+                start,
                 duration: p.duration,
                 procs: p.procs.clone(),
             });
-            done[original.index()] = true;
         }
-        batches.push(BatchTrace {
-            start: now,
+        // Mirror the whole batch into the machine profile in one
+        // sweep. Saturating: the engines may emit windows overlapping
+        // by one ulp on a processor (the validator tolerates it), and
+        // this profile is bookkeeping, not an invariant check.
+        if let Some(sky) = self.ctx.machine_mut() {
+            sky.commit_all_saturating(&self.inflight);
+        }
+        let emitted = inner.len();
+        self.batches.push(BatchTrace {
+            start: self.now,
             length,
-            jobs: ready,
+            jobs: mapping,
         });
-        now += length.max(f64::MIN_POSITIVE);
+        self.now += length.max(f64::MIN_POSITIVE);
+        Ok(emitted)
     }
 
-    Ok(OnlineResult { schedule, batches })
+    /// Consumes the loop, returning everything scheduled so far.
+    pub fn finish(self) -> OnlineResult {
+        OnlineResult {
+            schedule: self.schedule,
+            batches: self.batches,
+        }
+    }
 }
 
 /// Release-date vector of a job list, for
@@ -420,6 +692,100 @@ mod tests {
         ));
         // A clean feed sails through the same entry point.
         assert!(try_online_batch_schedule(2, &[], &demt()).is_ok());
+    }
+
+    #[test]
+    fn batch_loop_streaming_matches_wrapper_bytes() {
+        // Drive the loop the way an event source would — submit each
+        // job only once its release is due, running batches as soon as
+        // no unseen event can still join — and require placements
+        // byte-identical (serde-JSON) to the all-at-once wrapper.
+        let mut jobs = online_jobs(WorkloadKind::Mixed, 30, 8, 21, 25.0);
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.task.set_id(TaskId(i));
+        }
+        let batch = try_online_batch_schedule(8, &jobs, &demt()).unwrap();
+
+        let mut bl = BatchLoop::new(8);
+        let mut feed = jobs.iter().peekable();
+        loop {
+            while let Some(j) = feed.peek() {
+                let admit = match bl.next_batch_start() {
+                    Some(t) => j.release <= t + 1e-12,
+                    None => true,
+                };
+                if !admit {
+                    break;
+                }
+                let j = feed.next().expect("peeked");
+                bl.submit(j.task.clone(), j.release).unwrap();
+            }
+            if bl.pending() == 0 {
+                assert!(
+                    feed.peek().is_none(),
+                    "event admitted whenever pending is empty"
+                );
+                break;
+            }
+            bl.run_batch(&demt()).unwrap();
+        }
+        let streamed = bl.finish();
+        assert_eq!(
+            serde_json::to_string(&streamed.schedule).unwrap(),
+            serde_json::to_string(&batch.schedule).unwrap(),
+            "streamed and batch placements must be byte-identical"
+        );
+        assert_eq!(streamed.batches, batch.batches);
+    }
+
+    #[test]
+    fn batch_loop_releases_machine_windows() {
+        let mut bl = BatchLoop::new(4);
+        bl.submit(
+            MoldableTask::sequential(TaskId(0), 1.0, 2.0, 4).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        bl.run_batch(&demt()).unwrap();
+        // The batch window is committed while in flight…
+        let sky = bl.context().machine().unwrap();
+        assert!(sky.free_at(1.0) < 4, "window committed at decision time");
+        bl.submit(
+            MoldableTask::sequential(TaskId(1), 1.0, 1.0, 4).unwrap(),
+            5.0,
+        )
+        .unwrap();
+        bl.run_batch(&demt()).unwrap();
+        // …and released when the next batch starts: only the new
+        // window remains, so the profile stays small.
+        let sky = bl.context().machine().unwrap();
+        assert_eq!(sky.free_at(1.0), 4, "completed window released");
+        assert!(sky.segments() <= 3);
+    }
+
+    #[test]
+    fn batch_loop_cancel_and_id_discipline() {
+        let mut bl = BatchLoop::new(2);
+        let t = |id: usize| MoldableTask::sequential(TaskId(id), 1.0, 1.0, 2).unwrap();
+        bl.submit(t(0), 0.0).unwrap();
+        bl.submit(t(1), 0.0).unwrap();
+        // Ids must stay dense in submit order.
+        assert!(matches!(
+            bl.submit(t(5), 0.0),
+            Err(OnlineError::NonDenseIds { index: 2, .. })
+        ));
+        assert!(bl.cancel(TaskId(1)), "pending job cancels");
+        assert!(!bl.cancel(TaskId(1)), "second cancel is a no-op");
+        assert_eq!(bl.pending(), 1);
+        bl.run_batch(&demt()).unwrap();
+        assert!(!bl.cancel(TaskId(0)), "placed job is running, not pending");
+        // A cancelled id stays consumed: the next submit is id 2.
+        bl.submit(t(2), 0.0).unwrap();
+        bl.run_batch(&demt()).unwrap();
+        let out = bl.finish();
+        assert_eq!(out.schedule.len(), 2);
+        assert!(out.schedule.placement_of(TaskId(1)).is_none());
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub use criteria::Criteria;
 pub use gantt::render_gantt;
 #[doc(hidden)]
 pub use list::list_schedule_scan;
-pub use list::{bench_grid, list_schedule, try_list_schedule, ListError, ListPolicy, ListTask};
+pub use list::{
+    bench_grid, list_schedule, try_list_schedule, FreeSet, ListError, ListPolicy, ListTask,
+};
 pub use reserve::{backfill_schedule, Reservation};
 pub use schedule::{Placement, Schedule};
 pub use skyline::{Frontier, Skyline};

@@ -337,9 +337,11 @@ impl FitTree {
 /// Free-processor identities as a dense bitset over `0..m`:
 /// take-`k`-lowest walks set bits with `trailing_zeros` from a cursor
 /// at the first non-empty word, inserts are single bit-ors. Replaces
-/// the scan engine's per-event `O(m log m)` re-sort and `O(m)` prefix
-/// drain with `O(k)`-ish word operations.
-struct FreeSet {
+/// the scan engines' per-event `O(m log m)` re-sort and `O(m)` prefix
+/// drain with `O(k)`-ish word operations. Shared by the greedy list
+/// engine here and the skyline EASY queue in the front-end crate.
+#[derive(Debug, Clone)]
+pub struct FreeSet {
     words: Vec<u64>,
     len: usize,
     /// Lowest possibly-non-zero word (monotone under take, pulled back
@@ -348,7 +350,8 @@ struct FreeSet {
 }
 
 impl FreeSet {
-    fn full(m: usize) -> Self {
+    /// All `m` processors free.
+    pub fn full(m: usize) -> Self {
         let mut words = vec![u64::MAX; m.div_ceil(64)];
         if !m.is_multiple_of(64) {
             // m % 64 ≠ 0 here, so words has ⌈m/64⌉ ≥ 1 entries and the
@@ -364,12 +367,19 @@ impl FreeSet {
         }
     }
 
-    fn len(&self) -> usize {
+    /// Number of free processors.
+    pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether no processor is free.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// Removes and returns the `k` lowest set indices (ascending).
-    fn take_lowest(&mut self, k: usize) -> Vec<u32> {
+    /// `k` must not exceed [`FreeSet::len`].
+    pub fn take_lowest(&mut self, k: usize) -> Vec<u32> {
         debug_assert!(k <= self.len, "take exceeds free count");
         let mut out = Vec::with_capacity(k);
         let mut w = self.first;
@@ -386,7 +396,8 @@ impl FreeSet {
         out
     }
 
-    fn insert(&mut self, q: u32) {
+    /// Marks processor `q` free again.
+    pub fn insert(&mut self, q: u32) {
         let w = (q / 64) as usize;
         self.words[w] |= 1u64 << (q % 64);
         self.len += 1;

@@ -1,0 +1,464 @@
+//! The event loop: cohort admission, incremental re-planning on the
+//! persistent [`BatchLoop`], parallel event lifting and placement
+//! serialization, and the `--oracle` differential check.
+
+use crate::event::{JobEvent, ServeError};
+use crate::stats::ServeStats;
+use demt_api::{DeltaFingerprint, FnScheduler, Scheduler, SchedulerContext};
+use demt_baselines::registry;
+use demt_exec::Pool;
+use demt_model::{Instance, MoldableTask, TaskId};
+use demt_online::{try_online_batch_schedule, BatchLoop, OnlineJob};
+use demt_platform::{list_schedule, ListPolicy, ListTask, Schedule};
+use std::io::Write;
+use std::sync::OnceLock;
+
+/// How the daemon schedules: machine size, algorithm, parallelism,
+/// stats cadence, and the self-check switch.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Machine size `m`: every submit is lifted onto this many
+    /// processors.
+    pub procs: usize,
+    /// Per-batch scheduler: `"greedy"` (the built-in argmin-time list,
+    /// no dual phase) or any workspace registry name (`demt`, `gang`,
+    /// `sequential`, `list`, `lptf`, `saf`).
+    pub algorithm: String,
+    /// Worker threads for event lifting and placement serialization.
+    /// Placements are byte-identical for every worker count.
+    pub workers: usize,
+    /// Emit a stats snapshot every `tick` decisions (`0` = only the
+    /// final snapshot).
+    pub tick: usize,
+    /// Re-run the whole (cancel-free) feed through
+    /// [`try_online_batch_schedule`] at end of stream and fail unless
+    /// the placements match byte for byte.
+    pub oracle: bool,
+}
+
+impl ServeConfig {
+    /// Defaults for an `m`-processor daemon: greedy algorithm, one
+    /// worker, no rolling stats, no oracle.
+    pub fn new(procs: usize) -> Self {
+        Self {
+            procs,
+            algorithm: "greedy".to_string(),
+            workers: 1,
+            tick: 0,
+            oracle: false,
+        }
+    }
+}
+
+/// End-of-stream accounting returned by [`run_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Events consumed.
+    pub events: u64,
+    /// Placements emitted.
+    pub decisions: usize,
+    /// Batches planned.
+    pub batches: usize,
+    /// Final virtual time (the schedule horizon).
+    pub horizon: f64,
+}
+
+/// The built-in low-latency scheduler: each task at its argmin-time
+/// allotment (the first minimum, so a rigid profile resolves to exactly
+/// its requested width), packed by the skyline greedy list engine. No
+/// dual phase — the cost per batch is one `O(m)` scan per task plus the
+/// list pass, which is what a high-rate daemon wants as its default.
+pub fn greedy_scheduler() -> &'static dyn Scheduler {
+    type GreedyFn = fn(&Instance, &mut SchedulerContext) -> Schedule;
+    static GREEDY: OnceLock<FnScheduler<GreedyFn>> = OnceLock::new();
+    GREEDY.get_or_init(|| {
+        FnScheduler::new(
+            "greedy",
+            "Greedy list (argmin time)",
+            greedy_batch as GreedyFn,
+        )
+    })
+}
+
+fn greedy_batch(inst: &Instance, _ctx: &mut SchedulerContext) -> Schedule {
+    let tasks: Vec<ListTask> = inst
+        .tasks()
+        .iter()
+        .map(|t| {
+            let (best_k, best_t) = t.fastest_alloc();
+            ListTask::new(t.id(), best_k, best_t)
+        })
+        .collect();
+    list_schedule(inst.procs(), &tasks, ListPolicy::Greedy)
+}
+
+/// Resolves a [`ServeConfig::algorithm`] name: the built-in `"greedy"`
+/// or any workspace registry entry.
+pub fn resolve_scheduler(name: &str) -> Result<&'static dyn Scheduler, ServeError> {
+    if name == "greedy" {
+        return Ok(greedy_scheduler());
+    }
+    registry().by_name(name).ok_or_else(|| {
+        ServeError::Config(format!(
+            "unknown algorithm {name:?} (try greedy, {})",
+            registry().names().join(", ")
+        ))
+    })
+}
+
+/// Drives the daemon over one event stream: admits events into the
+/// persistent [`BatchLoop`] cohort by cohort, re-plans one batch per
+/// round, and writes one JSON placement line per decision to `out`.
+///
+/// **Determinism contract.** For a cancel-free stream, the emitted
+/// placements are byte-identical to serializing
+/// [`try_online_batch_schedule`]'s schedule on the equivalent
+/// [`OnlineJob`] feed, for every `workers` count — enforced by
+/// `--oracle`, the differential proptests, and the CI smoke job. The
+/// cohort rule makes this structural: an event is admitted only while
+/// its timestamp is at or before the instant the next batch can start
+/// (`BatchLoop::next_batch_start`), so each planned batch contains
+/// exactly the jobs the all-at-once wrapper would have gathered.
+///
+/// Submit lifting (profile construction + content hashing) and
+/// placement serialization run on the worker pool; both are ordered
+/// `par_map`s, so parallelism never reorders output.
+///
+/// Stats snapshots go to `stats_out` every [`ServeConfig::tick`]
+/// decisions (plus one final snapshot); pass [`ServeStats::new`] so
+/// wall-clock readings stay confined to the stats module.
+// demt-lint: allow(P2, reaches Pool::par_map's join expect, which only fires when a worker thread is poisoned)
+pub fn run_events<I, W>(
+    cfg: &ServeConfig,
+    events: I,
+    out: &mut W,
+    stats: &mut ServeStats,
+    mut stats_out: Option<&mut dyn Write>,
+) -> Result<ServeSummary, ServeError>
+where
+    I: Iterator<Item = Result<(usize, JobEvent), ServeError>>,
+    W: Write,
+{
+    if cfg.procs == 0 {
+        return Err(ServeError::Config("the machine needs processors".into()));
+    }
+    let scheduler = resolve_scheduler(&cfg.algorithm)?;
+    let pool = Pool::new(cfg.workers);
+    let mut bl = BatchLoop::new(cfg.procs);
+    let mut events = events;
+    let mut held: Option<(usize, JobEvent)> = None;
+    let mut exhausted = false;
+    let mut prev_t = f64::NEG_INFINITY;
+    let mut batches = 0usize;
+    let mut last_tick = 0u64;
+    let mut oracle_feed: Vec<OnlineJob> = Vec::new();
+
+    loop {
+        // Admission to fixpoint: gather every event admissible at the
+        // current next-batch-start bound. The bound is tracked locally
+        // across the cohort (a submit can only pull it earlier, and by
+        // exactly `max(now, release)`); a cancel can push the true
+        // bound later, which under-admits — corrected by the refresh
+        // on the next fixpoint round, never over-admitting.
+        loop {
+            let mut cohort: Vec<(usize, JobEvent)> = Vec::new();
+            let mut bound = bl.next_batch_start();
+            loop {
+                let next = match held.take() {
+                    Some(ev) => Some(ev),
+                    None if exhausted => None,
+                    None => match events.next() {
+                        Some(r) => {
+                            let (line, ev) = r?;
+                            if ev.release < prev_t {
+                                return Err(ServeError::OutOfOrder {
+                                    line,
+                                    release: ev.release,
+                                    prev: prev_t,
+                                });
+                            }
+                            prev_t = ev.release;
+                            stats.event();
+                            Some((line, ev))
+                        }
+                        None => {
+                            exhausted = true;
+                            None
+                        }
+                    },
+                };
+                let Some((line, ev)) = next else { break };
+                if bound.is_some_and(|b| ev.release > b + 1e-12) {
+                    held = Some((line, ev));
+                    break;
+                }
+                if ev.is_submit() {
+                    let start = ev.release.max(bl.now());
+                    bound = Some(bound.map_or(start, |b| b.min(start)));
+                }
+                cohort.push((line, ev));
+            }
+            if cohort.is_empty() {
+                break;
+            }
+            // Lift the cohort's submits on the pool: profile
+            // construction is O(m) per job and hashing O(m) again —
+            // the daemon's per-event hot path.
+            type Lifted = Option<Result<(MoldableTask, u64), String>>;
+            let lifted: Vec<Lifted> = pool.par_map(&cohort, |_, (_, ev)| {
+                if !ev.is_submit() {
+                    return None;
+                }
+                Some(ev.to_task(cfg.procs).map(|task| {
+                    let hash = DeltaFingerprint::task_hash(&task);
+                    (task, hash)
+                }))
+            });
+            for ((line, ev), lift) in cohort.iter().zip(lifted) {
+                match lift {
+                    Some(Ok((task, hash))) => {
+                        if cfg.oracle {
+                            oracle_feed.push(OnlineJob {
+                                task: task.clone(),
+                                release: ev.release,
+                            });
+                        }
+                        bl.submit_hashed(task, ev.release, hash)?;
+                    }
+                    Some(Err(message)) => {
+                        return Err(ServeError::Event {
+                            line: *line,
+                            message,
+                        })
+                    }
+                    None => {
+                        if cfg.oracle {
+                            return Err(ServeError::Config(
+                                "--oracle needs a cancel-free trace (the batch \
+                                 wrapper has no cancellation)"
+                                    .into(),
+                            ));
+                        }
+                        if !bl.cancel(TaskId(ev.job)) {
+                            return Err(ServeError::Event {
+                                line: *line,
+                                message: format!(
+                                    "cancel of job {} which is not pending \
+                                     (unknown, already placed, or already cancelled)",
+                                    ev.job
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-plan: one batch per round, placements out as JSON lines.
+        let before = bl.decisions();
+        stats.batch_starts();
+        let emitted = bl.run_batch(scheduler)?;
+        let fresh = &bl.schedule().placements()[before..];
+        let busy: f64 = fresh
+            .iter()
+            .map(|p| p.procs.len() as f64 * p.duration)
+            .sum();
+        stats.batch_done(emitted, busy);
+        if emitted > 0 {
+            batches += 1;
+            let lines: Vec<Vec<u8>> = pool.par_map(fresh, |_, p| {
+                let mut line = Vec::with_capacity(64 + 8 * p.procs.len());
+                p.write_json(&mut line);
+                line.push(b'\n');
+                line
+            });
+            for l in &lines {
+                out.write_all(l)
+                    .map_err(|e| ServeError::Io(e.to_string()))?;
+            }
+            if cfg.tick > 0 {
+                let due = stats.decisions() / cfg.tick as u64;
+                if due > last_tick {
+                    last_tick = due;
+                    write_snapshot(stats, bl.now(), &mut stats_out)?;
+                }
+            }
+        }
+        if emitted == 0 && held.is_none() && exhausted {
+            break;
+        }
+    }
+    out.flush().map_err(|e| ServeError::Io(e.to_string()))?;
+    write_snapshot(stats, bl.now(), &mut stats_out)?;
+
+    let summary = ServeSummary {
+        events: {
+            let snap = stats.snapshot(bl.now());
+            snap.events
+        },
+        decisions: bl.decisions(),
+        batches,
+        horizon: bl.now(),
+    };
+    if cfg.oracle {
+        check_oracle(cfg, &oracle_feed, scheduler, bl)?;
+    }
+    Ok(summary)
+}
+
+/// Serializes a stats snapshot as one JSON line, if a sink is wired.
+fn write_snapshot(
+    stats: &ServeStats,
+    horizon: f64,
+    stats_out: &mut Option<&mut dyn Write>,
+) -> Result<(), ServeError> {
+    let Some(sink) = stats_out.as_mut() else {
+        return Ok(());
+    };
+    let snap = stats.snapshot(horizon);
+    let line = serde_json::to_string(&snap).map_err(|e| ServeError::Io(e.to_string()))?;
+    writeln!(sink, "{line}").map_err(|e| ServeError::Io(e.to_string()))
+}
+
+/// The `--oracle` differential check: the same feed, re-planned from
+/// scratch by the all-at-once batch wrapper, must serialize to the
+/// same bytes placement by placement.
+fn check_oracle(
+    cfg: &ServeConfig,
+    feed: &[OnlineJob],
+    scheduler: &dyn Scheduler,
+    bl: BatchLoop,
+) -> Result<(), ServeError> {
+    let incremental = bl.finish().schedule;
+    let batch = try_online_batch_schedule(cfg.procs, feed, scheduler)?.schedule;
+    let a = serde_json::to_string(&incremental).map_err(|e| ServeError::Io(e.to_string()))?;
+    let b = serde_json::to_string(&batch).map_err(|e| ServeError::Io(e.to_string()))?;
+    if a != b {
+        return Err(ServeError::Oracle(format!(
+            "daemon emitted {} placements, batch wrapper {} — serialized \
+             schedules differ",
+            incremental.len(),
+            batch.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::grid_events;
+
+    fn run_grid(cfg: &ServeConfig, events: &[JobEvent]) -> (Vec<u8>, ServeSummary) {
+        let mut out = Vec::new();
+        let mut stats = ServeStats::new(cfg.procs);
+        let summary = run_events(
+            cfg,
+            events
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, e)| Ok((i + 1, e))),
+            &mut out,
+            &mut stats,
+            None,
+        )
+        .expect("grid feeds schedule cleanly");
+        (out, summary)
+    }
+
+    #[test]
+    fn oracle_accepts_the_daemon_on_a_grid_feed() {
+        let m = 64;
+        let events = grid_events(300, m, 5);
+        let mut cfg = ServeConfig::new(m);
+        cfg.oracle = true;
+        let (out, summary) = run_grid(&cfg, &events);
+        assert_eq!(summary.decisions, 300);
+        assert_eq!(out.iter().filter(|&&b| b == b'\n').count(), 300);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_bytes() {
+        let m = 32;
+        let events = grid_events(200, m, 13);
+        let mut base = ServeConfig::new(m);
+        base.workers = 1;
+        let (one, _) = run_grid(&base, &events);
+        base.workers = 4;
+        let (four, _) = run_grid(&base, &events);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn cancelled_jobs_never_appear_in_the_output() {
+        let m = 8;
+        let events = vec![
+            JobEvent::submit_rigid(0, 0.0, 1.0, 4, 2.0),
+            JobEvent::submit_rigid(1, 5.0, 1.0, 2, 1.0),
+            JobEvent::cancel(1, 5.0),
+            JobEvent::submit_rigid(2, 6.0, 1.0, 8, 1.0),
+        ];
+        let (out, summary) = run_grid(&ServeConfig::new(m), &events);
+        let text = String::from_utf8(out).expect("JSON output is UTF-8");
+        assert_eq!(summary.decisions, 2);
+        assert!(
+            !text.contains("\"task\":1"),
+            "cancelled job was placed:\n{text}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_and_bad_cancels_are_typed_errors() {
+        let m = 4;
+        let disordered = [
+            JobEvent::submit_rigid(0, 3.0, 1.0, 1, 1.0),
+            JobEvent::submit_rigid(1, 1.0, 1.0, 1, 1.0),
+        ];
+        let mut out = Vec::new();
+        let mut stats = ServeStats::new(m);
+        let err = run_events(
+            &ServeConfig::new(m),
+            disordered
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, e)| Ok((i + 1, e))),
+            &mut out,
+            &mut stats,
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ServeError::OutOfOrder { line: 2, .. }),
+            "{err:?}"
+        );
+
+        let bad_cancel = [JobEvent::cancel(7, 0.0)];
+        let mut out = Vec::new();
+        let mut stats = ServeStats::new(m);
+        let err = run_events(
+            &ServeConfig::new(m),
+            bad_cancel
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, e)| Ok((i + 1, e))),
+            &mut out,
+            &mut stats,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::Event { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_algorithms_are_rejected_and_registry_names_resolve() {
+        assert!(matches!(
+            resolve_scheduler("nope"),
+            Err(ServeError::Config(_))
+        ));
+        assert_eq!(resolve_scheduler("greedy").map(|s| s.name()), Ok("greedy"));
+        assert_eq!(resolve_scheduler("gang").map(|s| s.name()), Ok("gang"));
+    }
+}

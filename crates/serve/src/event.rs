@@ -1,0 +1,476 @@
+//! The daemon's wire format: newline-delimited JSON job events, the
+//! typed error surface, and the deterministic trace generator the CI
+//! smoke job replays.
+
+use demt_model::{MoldableTask, TaskId};
+use demt_online::OnlineError;
+use demt_platform::bench_grid;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::BufRead;
+
+/// One job event, one JSON object per line. The schema is flat — every
+/// field is present on every line — so any JSON tooling can consume a
+/// trace without schema negotiation:
+///
+/// ```json
+/// {"kind":"submit","job":0,"release":0.0,"weight":1.0,"procs":4,"time":2.5,"times":[]}
+/// {"kind":"cancel","job":0,"release":1.5,"weight":0.0,"procs":0,"time":0.0,"times":[]}
+/// ```
+///
+/// * `kind` — `"submit"` or `"cancel"`.
+/// * `job` — dense id (`0, 1, 2, …` in submit order) for submits, the
+///   target id for cancels.
+/// * `release` — the event's timestamp: the job's release date for
+///   submits, the cancellation instant for cancels. A trace must be
+///   non-decreasing in this field.
+/// * `weight`, `procs`, `time`, `times` — the job shape (submits only;
+///   zeroed on cancels). An empty `times` means a **rigid** request of
+///   `procs` processors for `time` seconds, lifted onto the machine as
+///   [`MoldableTask::rigid`]; a non-empty `times` is the explicit
+///   moldable profile `times[k-1] = p(k)` and must cover the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Event kind: `"submit"` or `"cancel"`.
+    pub kind: String,
+    /// Job id (dense in submit order; the target for cancels).
+    pub job: usize,
+    /// Event timestamp (release date / cancellation instant).
+    pub release: f64,
+    /// Job weight (submits only).
+    pub weight: f64,
+    /// Rigid processor request (submits with empty `times` only).
+    pub procs: usize,
+    /// Rigid processing time (submits with empty `times` only).
+    pub time: f64,
+    /// Explicit moldable profile; empty means rigid.
+    pub times: Vec<f64>,
+}
+
+impl JobEvent {
+    /// A rigid submit event.
+    pub fn submit_rigid(job: usize, release: f64, weight: f64, procs: usize, time: f64) -> Self {
+        Self {
+            kind: "submit".to_string(),
+            job,
+            release,
+            weight,
+            procs,
+            time,
+            times: Vec::new(),
+        }
+    }
+
+    /// A moldable submit event with an explicit profile.
+    pub fn submit_moldable(job: usize, release: f64, weight: f64, times: Vec<f64>) -> Self {
+        Self {
+            kind: "submit".to_string(),
+            job,
+            release,
+            weight,
+            procs: 0,
+            time: 0.0,
+            times,
+        }
+    }
+
+    /// A cancel event for `job` at instant `at`.
+    pub fn cancel(job: usize, at: f64) -> Self {
+        Self {
+            kind: "cancel".to_string(),
+            job,
+            release: at,
+            weight: 0.0,
+            procs: 0,
+            time: 0.0,
+            times: Vec::new(),
+        }
+    }
+
+    /// Whether this is a submit event (anything else must be a cancel;
+    /// [`EventReader`] rejects unknown kinds at parse time).
+    pub fn is_submit(&self) -> bool {
+        self.kind == "submit"
+    }
+
+    /// Parses one canonical JSONL event line without building a JSON
+    /// tree — the exact field order and spacing [`serde_json`] emits,
+    /// which is what every trace this workspace generates (and every
+    /// serde-writing client) sends. Returns `None` on *any* deviation
+    /// — reordered fields, whitespace, unusual number spellings — and
+    /// the caller falls back to the general parser, so the accepted
+    /// language and every error message are unchanged; the fast path
+    /// only skips the per-line `Value` allocations. Number semantics
+    /// match the tree parser: both route the same byte ranges through
+    /// `f64`/`usize` `FromStr`.
+    fn parse_fast(raw: &str) -> Option<JobEvent> {
+        let b = raw.as_bytes();
+        let mut p = 0usize;
+
+        fn lit(b: &[u8], p: &mut usize, s: &[u8]) -> bool {
+            if b[*p..].starts_with(s) {
+                *p += s.len();
+                true
+            } else {
+                false
+            }
+        }
+        fn uint(b: &[u8], p: &mut usize) -> Option<usize> {
+            let start = *p;
+            while b.get(*p).is_some_and(u8::is_ascii_digit) {
+                *p += 1;
+            }
+            std::str::from_utf8(&b[start..*p]).ok()?.parse().ok()
+        }
+        fn num(b: &[u8], p: &mut usize) -> Option<f64> {
+            let start = *p;
+            while b.get(*p).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                *p += 1;
+            }
+            std::str::from_utf8(&b[start..*p]).ok()?.parse().ok()
+        }
+
+        if !lit(b, &mut p, b"{\"kind\":\"") {
+            return None;
+        }
+        let kind = if lit(b, &mut p, b"submit\"") {
+            "submit"
+        } else if lit(b, &mut p, b"cancel\"") {
+            "cancel"
+        } else {
+            return None;
+        };
+        if !lit(b, &mut p, b",\"job\":") {
+            return None;
+        }
+        let job = uint(b, &mut p)?;
+        if !lit(b, &mut p, b",\"release\":") {
+            return None;
+        }
+        let release = num(b, &mut p)?;
+        if !lit(b, &mut p, b",\"weight\":") {
+            return None;
+        }
+        let weight = num(b, &mut p)?;
+        if !lit(b, &mut p, b",\"procs\":") {
+            return None;
+        }
+        let procs = uint(b, &mut p)?;
+        if !lit(b, &mut p, b",\"time\":") {
+            return None;
+        }
+        let time = num(b, &mut p)?;
+        if !lit(b, &mut p, b",\"times\":[") {
+            return None;
+        }
+        let mut times = Vec::new();
+        if !lit(b, &mut p, b"]") {
+            loop {
+                times.push(num(b, &mut p)?);
+                if lit(b, &mut p, b"]") {
+                    break;
+                }
+                if !lit(b, &mut p, b",") {
+                    return None;
+                }
+            }
+        }
+        if !lit(b, &mut p, b"}") || p != b.len() {
+            return None;
+        }
+        Some(JobEvent {
+            kind: kind.to_string(),
+            job,
+            release,
+            weight,
+            procs,
+            time,
+            times,
+        })
+    }
+
+    /// Lifts a submit event onto an `m`-processor machine.
+    pub fn to_task(&self, m: usize) -> Result<MoldableTask, String> {
+        if self.times.is_empty() {
+            MoldableTask::rigid(TaskId(self.job), self.weight, self.procs, self.time, m)
+                .map_err(|e| e.to_string())
+        } else {
+            MoldableTask::new(TaskId(self.job), self.weight, self.times.clone())
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Everything that can go wrong between an event source and the
+/// scheduling loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The event source failed to read.
+    Io(String),
+    /// A line was not a valid [`JobEvent`] object.
+    Parse {
+        /// 1-based line in the event source.
+        line: usize,
+        /// What the parser objected to.
+        message: String,
+    },
+    /// A structurally valid event the daemon cannot apply (unknown
+    /// kind, cancel of an unknown job, malformed job shape).
+    Event {
+        /// 1-based line in the event source.
+        line: usize,
+        /// What the daemon objected to.
+        message: String,
+    },
+    /// Event timestamps must be non-decreasing.
+    OutOfOrder {
+        /// 1-based line of the regressing event.
+        line: usize,
+        /// Its timestamp.
+        release: f64,
+        /// The timestamp it regressed behind.
+        prev: f64,
+    },
+    /// The scheduling core rejected the feed.
+    Online(OnlineError),
+    /// `--oracle`: the daemon's placements diverged from the batch
+    /// wrapper's on the same feed.
+    Oracle(String),
+    /// Bad daemon configuration.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "event source: {e}"),
+            ServeError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ServeError::Event { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ServeError::OutOfOrder {
+                line,
+                release,
+                prev,
+            } => write!(
+                f,
+                "line {line}: event timestamp {release} regresses behind {prev} \
+                 (traces must be sorted by time)"
+            ),
+            ServeError::Online(e) => write!(f, "scheduling core: {e}"),
+            ServeError::Oracle(e) => write!(f, "oracle divergence: {e}"),
+            ServeError::Config(e) => write!(f, "configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OnlineError> for ServeError {
+    fn from(e: OnlineError) -> Self {
+        ServeError::Online(e)
+    }
+}
+
+/// Streaming JSONL event parser over any [`BufRead`]: one line in
+/// memory at a time, blank lines skipped, every error tagged with its
+/// 1-based line number. Unknown `kind` values are rejected here so the
+/// scheduling loop only ever sees submits and cancels.
+#[derive(Debug)]
+pub struct EventReader<R> {
+    source: R,
+    line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> EventReader<R> {
+    /// Wraps a buffered byte source.
+    pub fn new(source: R) -> Self {
+        Self {
+            source,
+            line: 0,
+            buf: String::new(),
+        }
+    }
+
+    /// 1-based number of the last line read.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl<R: BufRead> Iterator for EventReader<R> {
+    /// The event with its 1-based source line (the loop needs the line
+    /// for its own error reports).
+    type Item = Result<(usize, JobEvent), ServeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line += 1;
+            match self.source.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(ServeError::Io(e.to_string()))),
+            }
+            let raw = self.buf.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let ev: JobEvent = match JobEvent::parse_fast(raw) {
+                Some(ev) => ev,
+                None => match serde_json::from_str(raw) {
+                    Ok(ev) => ev,
+                    Err(e) => {
+                        return Some(Err(ServeError::Parse {
+                            line: self.line,
+                            message: e.to_string(),
+                        }))
+                    }
+                },
+            };
+            if ev.kind != "submit" && ev.kind != "cancel" {
+                return Some(Err(ServeError::Event {
+                    line: self.line,
+                    message: format!("unknown event kind {:?}", ev.kind),
+                }));
+            }
+            return Some(Ok((self.line, ev)));
+        }
+    }
+}
+
+/// The CI smoke trace: the platform layer's deterministic benchmark
+/// grid ([`bench_grid`]) as a submit-event log — sorted by release,
+/// re-identified densely, unit weights. The same `(n, m, seed)` yields
+/// the same bytes on every machine, which is what lets the CI job
+/// `cmp` two independent daemon runs.
+pub fn grid_events(n: usize, m: usize, seed: u64) -> Vec<JobEvent> {
+    let mut tasks = bench_grid(n, m, seed);
+    tasks.sort_by(|a, b| {
+        a.ready
+            .total_cmp(&b.ready)
+            .then(a.id.index().cmp(&b.id.index()))
+    });
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| JobEvent::submit_rigid(i, t.ready, 1.0, t.alloc, t.duration))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let events = vec![
+            JobEvent::submit_rigid(0, 0.0, 1.0, 4, 2.5),
+            JobEvent::submit_moldable(1, 0.5, 2.0, vec![4.0, 2.0, 1.5]),
+            JobEvent::cancel(0, 1.0),
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| {
+                let mut l = serde_json::to_string(e).expect("events serialize");
+                l.push('\n');
+                l
+            })
+            .collect();
+        let back: Vec<JobEvent> = EventReader::new(text.as_bytes())
+            .map(|r| r.map(|(_, ev)| ev))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn reader_reports_lines_and_rejects_unknown_kinds() {
+        let text = "\n{\"kind\":\"submit\",\"job\":0,\"release\":0.0,\"weight\":1.0,\
+                    \"procs\":1,\"time\":1.0,\"times\":[]}\nnot json\n";
+        let mut reader = EventReader::new(text.as_bytes());
+        let (line, ev) = reader.next().unwrap().unwrap();
+        assert_eq!(line, 2);
+        assert!(ev.is_submit());
+        match reader.next().unwrap().unwrap_err() {
+            ServeError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        let bad = "{\"kind\":\"resize\",\"job\":0,\"release\":0.0,\"weight\":0.0,\
+                   \"procs\":0,\"time\":0.0,\"times\":[]}\n";
+        match EventReader::new(bad.as_bytes())
+            .next()
+            .unwrap()
+            .unwrap_err()
+        {
+            ServeError::Event { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("resize"));
+            }
+            other => panic!("expected an event error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_and_tree_parsers_agree_line_by_line() {
+        // Canonical lines take the fast path; anything non-canonical
+        // must fall back, so the reader accepts exactly the tree
+        // parser's language either way.
+        let events = vec![
+            JobEvent::submit_rigid(0, 0.0, 1.0, 4, 2.5),
+            JobEvent::submit_rigid(12, 1.5e-3, 0.125, 1, 1e6),
+            JobEvent::submit_moldable(1, 0.5, 2.0, vec![4.0, 2.0, 1.0 / 3.0]),
+            JobEvent::cancel(0, 1.0),
+        ];
+        for ev in &events {
+            let line = serde_json::to_string(ev).expect("events serialize");
+            let fast = JobEvent::parse_fast(&line).expect("canonical lines take the fast path");
+            let tree: JobEvent = serde_json::from_str(&line).expect("tree parse");
+            assert_eq!(fast, tree);
+            assert_eq!(&fast, ev);
+        }
+        // Valid JSON the fast scanner refuses — spacing, field order —
+        // still parses through the fallback.
+        let spaced = "{\"kind\": \"submit\", \"job\": 3, \"release\": 1.0, \"weight\": 1.0, \
+                      \"procs\": 2, \"time\": 4.0, \"times\": []}";
+        assert_eq!(JobEvent::parse_fast(spaced), None);
+        let (_, ev) = EventReader::new(format!("{spaced}\n").as_bytes())
+            .next()
+            .expect("one line")
+            .expect("valid JSON parses");
+        assert_eq!(ev, JobEvent::submit_rigid(3, 1.0, 1.0, 2, 4.0));
+        // Truncated or trailing garbage never panics the fast path.
+        for bad in [
+            "{\"kind\":\"submit\",\"job\":",
+            "{\"kind\":\"submit\"}x",
+            "{}",
+        ] {
+            assert_eq!(JobEvent::parse_fast(bad), None);
+        }
+    }
+
+    #[test]
+    fn grid_traces_are_sorted_dense_and_reproducible() {
+        let a = grid_events(200, 64, 9);
+        let b = grid_events(200, 64, 9);
+        assert_eq!(a, b);
+        for (i, ev) in a.iter().enumerate() {
+            assert_eq!(ev.job, i);
+            assert!(ev.is_submit());
+            assert!(ev.procs >= 1 && ev.procs <= 64);
+        }
+        for w in a.windows(2) {
+            assert!(w[1].release >= w[0].release);
+        }
+        assert!(
+            a.iter().any(|e| e.release > 0.0),
+            "the grid has late arrivals"
+        );
+    }
+}

@@ -27,6 +27,10 @@ fn main() {
     if cmd == "lint" {
         std::process::exit(demt::lint::lint_cli(&args[1..]));
     }
+    // And `serve` (event-source selection plus boolean flags).
+    if cmd == "serve" {
+        std::process::exit(demt::serve::serve_cli(&args[1..]));
+    }
     let opts = parse_opts(&args[1..]);
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
@@ -480,6 +484,13 @@ COMMANDS
   swf       --file TRACE.swf --procs M [--seed S]
             replay a Standard Workload Format trace through the three
             front-end disciplines
+  serve     --procs M [--algorithm NAME] [--workers N] [--tick N]
+            [--stats PATH] [--oracle] [--replay FILE.swf] [--socket P]
+            | --gen-grid [--tasks N] [--procs M] [--seed S]
+            event-driven scheduling daemon: newline-delimited JSON job
+            events in (stdin, socket, or SWF replay), one JSON
+            placement line per decision out, rolling stats on the side;
+            placements replay byte-identically (`demt serve --help`)
   repro     [fig3..fig7|ablation|verify|all] [--quick|--paper]
             [--workers W] [--json PATH] [--no-timing] ...
             regenerate the paper's figures on one shared work-stealing

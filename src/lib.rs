@@ -22,7 +22,8 @@
 //! | [`bounds`] | `demt-bounds` | minsum LP lower bound, warm-started horizon sweeps |
 //! | [`core`] | `demt-core` | the DEMT algorithm |
 //! | [`baselines`] | `demt-baselines` | Gang, Sequential, three Graham lists |
-//! | [`online`] | `demt-online` | on-line batch framework over release dates |
+//! | [`online`] | `demt-online` | on-line batch framework over release dates, incremental `BatchLoop` core |
+//! | [`serve`] | `demt-serve` | event-driven scheduling daemon: JSONL job events in, placements + rolling stats out (`demt serve`) |
 //! | [`exec`] | `demt-exec` | work-stealing executor: scoped pool, deterministic `par_map`/`par_map_reduce` |
 //! | [`sim`] | `demt-sim` | experiment harness regenerating Figures 3–7 (cell-parallel on the `exec` pool) |
 //! | [`exact`] | `demt-exact` | exact branch-and-bound oracle for tiny instances |
@@ -80,6 +81,7 @@ pub use demt_lp as lp;
 pub use demt_model as model;
 pub use demt_online as online;
 pub use demt_platform as platform;
+pub use demt_serve as serve;
 pub use demt_sim as sim;
 pub use demt_workload as workload;
 
@@ -107,12 +109,14 @@ pub mod prelude {
     pub use demt_exec::Pool;
     pub use demt_model::{Instance, InstanceBuilder, MoldableTask, TaskId};
     pub use demt_online::{
-        online_batch_schedule, try_online_batch_schedule, OnlineError, OnlineJob, OnlineResult,
+        online_batch_schedule, try_online_batch_schedule, BatchLoop, OnlineError, OnlineJob,
+        OnlineResult,
     };
     pub use demt_platform::{
         assert_valid, backfill_schedule, list_schedule, render_gantt, try_list_schedule, validate,
         validate_no_overlap, validate_with_releases, Criteria, Frontier, ListError, ListPolicy,
         ListTask, Placement, Reservation, Schedule, Skyline,
     };
+    pub use demt_serve::{run_events, JobEvent, ServeConfig, ServeError, ServeStats};
     pub use demt_workload::{generate, WorkloadKind, WorkloadSpec};
 }
