@@ -26,6 +26,10 @@
 
 #![warn(missing_docs)]
 
+mod hierarchy;
+
+pub use hierarchy::HierarchicalScheduler;
+
 use demt_dual::{dual_approx, DualConfig, DualResult};
 use demt_model::{Instance, MoldableTask};
 use demt_platform::{Criteria, Schedule, Skyline};
@@ -51,6 +55,39 @@ pub trait Scheduler: Send + Sync {
     /// approximation; schedulers that need it call
     /// [`SchedulerContext::dual`] instead of running their own.
     fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport;
+}
+
+/// Any shared reference to a scheduler is a scheduler — so registry
+/// lookups (`&dyn Scheduler`) plug straight into wrappers like
+/// [`HierarchicalScheduler`] without re-boxing.
+impl<S: Scheduler + ?Sized> Scheduler for &S {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn legend(&self) -> &str {
+        (**self).legend()
+    }
+
+    fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport {
+        (**self).schedule(inst, ctx)
+    }
+}
+
+/// Boxed schedulers delegate too, so owned `Box<dyn Scheduler>` values
+/// compose with the same wrappers.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn legend(&self) -> &str {
+        (**self).legend()
+    }
+
+    fn schedule(&self, inst: &Instance, ctx: &mut SchedulerContext) -> ScheduleReport {
+        (**self).schedule(inst, ctx)
+    }
 }
 
 /// Shared per-run state handed to every [`Scheduler::schedule`] call.
@@ -489,7 +526,7 @@ mod tests {
                 task: t.id(),
                 start: t0,
                 duration: d,
-                procs: vec![0],
+                procs: vec![0].into(),
             });
             t0 += d;
         }

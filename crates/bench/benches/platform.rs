@@ -1,12 +1,20 @@
-//! Old-scan vs skyline list engine at m ∈ {10², 10³, 10⁴}.
+//! Old-scan vs skyline list engine at m ∈ {10², 10³, 10⁴}, plus the
+//! ProcSet-vs-Vec representation micro-pairs.
 //!
 //! The scan reference re-sorts the free list (`O(m log m)`) and rescans
 //! the task list (`O(n)`) at every event; the skyline engine replaces
 //! both with event-ordered structures (see `demt-platform::list`'s
 //! complexity table). The gap widens with `m` — the acceptance bar for
-//! the skyline rework is ≥ 5× on the `m10000` pairs below.
+//! the skyline rework is ≥ 5× on the `m10000` pairs below. Since the
+//! ProcSet migration the skyline side *is* the interval-set engine and
+//! the scan side keeps `Vec<u32>` bookkeeping, so each
+//! `skyline_m*`/`scan_m*` pair doubles as the ProcSet-vs-Vec listbench
+//! comparison; the `procset` group isolates the representation itself
+//! (set union and lowest-k claims — the per-event operations whose
+//! `Σk` id clones the interval form eliminates).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use demt_model::ProcSet;
 use demt_platform::{bench_grid, list_schedule, list_schedule_scan, ListPolicy};
 use std::hint::black_box;
 
@@ -34,5 +42,61 @@ fn engines(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, engines);
+/// The representation pairs: every free-set event in the greedy engine
+/// is a union (release) or a lowest-k claim, formerly `O(Σk)` id
+/// vectors, now `O(fragments)` interval merges. Fragmented sets (every
+/// other processor free) are the interval form's worst case, so the
+/// pair is a lower bound on the win.
+fn procset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procset");
+    for m in [1000u32, 10_000] {
+        let evens = ProcSet::from_ids((0..m).filter(|q| q % 2 == 0));
+        let thirds = ProcSet::from_ids((0..m).filter(|q| q % 3 == 0));
+        let vec_evens: Vec<u32> = evens.to_ids();
+        let vec_thirds: Vec<u32> = thirds.to_ids();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("interval_union_m{m}")),
+            &(&evens, &thirds),
+            |b, (x, y)| b.iter(|| black_box(x.union(y).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("vec_union_m{m}")),
+            &(&vec_evens, &vec_thirds),
+            |b, (x, y)| {
+                b.iter(|| {
+                    let mut merged: Vec<u32> = (*x).clone();
+                    merged.extend_from_slice(y);
+                    merged.sort_unstable();
+                    merged.dedup();
+                    black_box(merged.len())
+                })
+            },
+        );
+        let k = m as usize / 4;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("interval_take_k_m{m}")),
+            &evens,
+            |b, s| {
+                b.iter(|| {
+                    let mut rest = s.clone();
+                    black_box(rest.take_k_lowest(k).map(|t| t.len()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("vec_take_k_m{m}")),
+            &vec_evens,
+            |b, s| {
+                b.iter(|| {
+                    let mut rest: Vec<u32> = (*s).clone();
+                    let taken: Vec<u32> = rest.drain(..k).collect();
+                    black_box((taken.len(), rest.len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines, procset_ops);
 criterion_main!(benches);

@@ -157,7 +157,7 @@ fn place_raw(inst: &Instance, plan: &BatchPlan) -> Schedule {
                         task: id,
                         start: t0,
                         duration: d,
-                        procs: vec![q],
+                        procs: demt_model::ProcSet::range(q, q),
                     });
                     t0 += d;
                 }

@@ -254,7 +254,7 @@ pub fn exact_optimum(inst: &Instance, objective: Objective) -> ExactResult {
             task: id,
             start,
             duration: p,
-            procs,
+            procs: procs.into(),
         });
     }
     ExactResult {

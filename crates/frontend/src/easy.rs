@@ -15,6 +15,7 @@
 //!   fit in the processors it leaves spare).
 
 use crate::stream::SubmittedJob;
+use demt_model::ProcSet;
 use demt_platform::{FreeSet, Placement, Schedule, Skyline};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -106,7 +107,7 @@ pub fn queue_schedule_ordered(
     // finite and ≥ 0, so the bit pattern orders like the number), the
     // committed window and identities per job, and the free pool.
     let mut running: BTreeSet<(u64, usize)> = BTreeSet::new();
-    let mut windows: Vec<Option<(f64, f64, Vec<u32>)>> = vec![None; n];
+    let mut windows: Vec<Option<(f64, f64, ProcSet)>> = vec![None; n];
     let mut free = FreeSet::full(m);
     let mut sky = Skyline::new(m);
     let mut now = 0.0_f64;
@@ -124,7 +125,7 @@ pub fn queue_schedule_ordered(
 
     let start_job = |schedule: &mut Schedule,
                      running: &mut BTreeSet<(u64, usize)>,
-                     windows: &mut Vec<Option<(f64, f64, Vec<u32>)>>,
+                     windows: &mut Vec<Option<(f64, f64, ProcSet)>>,
                      free: &mut FreeSet,
                      sky: &mut Skyline,
                      idx: usize,
@@ -230,9 +231,7 @@ pub fn queue_schedule_ordered(
             running.pop_first();
             if let Some((s, e, procs)) = windows[idx].take() {
                 sky.release_until(s, e, jobs[idx].rigid_procs);
-                for q in procs {
-                    free.insert(q);
-                }
+                free.release(&procs);
             }
         }
         admit(now, &mut next_arrival, &mut pending);
@@ -387,7 +386,7 @@ fn start_job(
         task: j.task.id(),
         start: now,
         duration: d,
-        procs: procs.clone(),
+        procs: ProcSet::from_ids(procs.iter().copied()),
     });
     running.push((now + d, procs));
 }

@@ -106,7 +106,7 @@ mod tests {
             task: TaskId(0),
             start: 3.0,
             duration: 2.0,
-            procs: vec![0],
+            procs: vec![0].into(),
         });
         (jobs, s)
     }
@@ -135,7 +135,7 @@ mod tests {
             task: TaskId(0),
             start: 0.5,
             duration: 0.01,
-            procs: vec![0],
+            procs: vec![0].into(),
         });
         let m = job_metrics(&jobs, &s);
         // Unbounded slowdown would be 51; bounded uses τ = 0.5 → 1.02.

@@ -29,11 +29,15 @@
 #![warn(missing_docs)]
 
 mod error;
+mod hierarchy;
 mod instance;
+mod procset;
 mod task;
 
 pub use error::ModelError;
+pub use hierarchy::{Hierarchy, HierarchyError, HierarchyLevel, HierarchyRequest};
 pub use instance::{Instance, InstanceBuilder, InstanceStats};
+pub use procset::{ProcSet, ProcSetIter};
 pub use task::{MoldableTask, TaskId};
 
 /// Relative tolerance used by floating-point comparisons throughout the

@@ -38,13 +38,13 @@ pub fn pull_earlier(schedule: &Schedule, ready: Option<&[f64]>) -> Schedule {
         let start = p
             .procs
             .iter()
-            .map(|&q| avail[q as usize])
+            .map(|q| avail[q as usize])
             .fold(floor, f64::max);
         debug_assert!(
             start <= p.start + 1e-9,
             "pull_earlier must never delay a task"
         );
-        for &q in &p.procs {
+        for q in &p.procs {
             avail[q as usize] = start + p.duration;
         }
         out.push(Placement {
@@ -67,7 +67,7 @@ mod tests {
             task: TaskId(task),
             start,
             duration,
-            procs: procs.to_vec(),
+            procs: procs.into(),
         }
     }
 
@@ -87,7 +87,10 @@ mod tests {
         let mut s = Schedule::new(3);
         s.push(placement(0, 2.0, 1.0, &[1, 2]));
         let c = pull_earlier(&s, None);
-        assert_eq!(c.placement_of(TaskId(0)).unwrap().procs, vec![1, 2]);
+        assert_eq!(
+            c.placement_of(TaskId(0)).unwrap().procs,
+            demt_model::ProcSet::range(1, 2)
+        );
     }
 
     #[test]

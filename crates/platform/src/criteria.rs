@@ -84,13 +84,13 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 2.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         s.push(Placement {
             task: TaskId(1),
             start: 1.0,
             duration: 3.0,
-            procs: vec![2],
+            procs: vec![2].into(),
         });
         (inst, s)
     }

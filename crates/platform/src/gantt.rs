@@ -21,7 +21,7 @@ pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
         let c1 = ((p.completion() / horizon) * width as f64).ceil() as usize;
         let c1 = c1.clamp(c0 + 1, width);
         let label = ALPHABET[p.task.index() % ALPHABET.len()];
-        for &q in &p.procs {
+        for q in &p.procs {
             for cell in grid[q as usize][c0..c1].iter_mut() {
                 *cell = label;
             }
@@ -51,13 +51,13 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 5.0,
-            procs: vec![0],
+            procs: vec![0].into(),
         });
         s.push(Placement {
             task: TaskId(1),
             start: 5.0,
             duration: 5.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         let g = render_gantt(&s, 20);
         assert!(g.contains('0'), "{g}");
@@ -79,7 +79,7 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 1.0,
-            procs: vec![4],
+            procs: vec![4].into(),
         });
         let g = render_gantt(&s, 12);
         assert_eq!(g.lines().count(), 6);

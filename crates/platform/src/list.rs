@@ -47,7 +47,7 @@
 //!
 //! ```
 //! use demt_platform::{list_schedule, ListPolicy, ListTask};
-//! use demt_model::TaskId;
+//! use demt_model::{ProcSet, TaskId};
 //! // 10⁴ processors, 100 tasks of width 100: a perfect 1-unit packing.
 //! let tasks: Vec<ListTask> = (0..100)
 //!     .map(|i| ListTask::new(TaskId(i), 100, 1.0))
@@ -59,7 +59,7 @@
 
 use crate::skyline::Frontier;
 use crate::{Placement, Schedule};
-use demt_model::TaskId;
+use demt_model::{ProcSet, TaskId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -334,74 +334,60 @@ impl FitTree {
     }
 }
 
-/// Free-processor identities as a dense bitset over `0..m`:
-/// take-`k`-lowest walks set bits with `trailing_zeros` from a cursor
-/// at the first non-empty word, inserts are single bit-ors. Replaces
-/// the scan engines' per-event `O(m log m)` re-sort and `O(m)` prefix
-/// drain with `O(k)`-ish word operations. Shared by the greedy list
-/// engine here and the skyline EASY queue in the front-end crate.
+/// Free-processor identities as a sorted interval set ([`ProcSet`]):
+/// take-`k`-lowest splits off a prefix of segments, releases are
+/// interval unions. Free sets stay a handful of contiguous runs in
+/// practice, so both operations are `O(segments)` — and a claimed set
+/// is carried through event heaps as ranges, not `k` ids. Shared by
+/// the greedy list engine here and the skyline EASY queue in the
+/// front-end crate.
 #[derive(Debug, Clone)]
 pub struct FreeSet {
-    words: Vec<u64>,
-    len: usize,
-    /// Lowest possibly-non-zero word (monotone under take, pulled back
-    /// by inserts).
-    first: usize,
+    set: ProcSet,
 }
 
 impl FreeSet {
     /// All `m` processors free.
     pub fn full(m: usize) -> Self {
-        let mut words = vec![u64::MAX; m.div_ceil(64)];
-        if !m.is_multiple_of(64) {
-            // m % 64 ≠ 0 here, so words has ⌈m/64⌉ ≥ 1 entries and the
-            // if-let always takes the Some arm.
-            if let Some(w) = words.last_mut() {
-                *w = (1u64 << (m % 64)) - 1;
-            }
-        }
         Self {
-            words,
-            len: m,
-            first: 0,
+            set: ProcSet::full(m),
         }
     }
 
     /// Number of free processors.
     pub fn len(&self) -> usize {
-        self.len
+        self.set.len()
     }
 
     /// Whether no processor is free.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.set.is_empty()
     }
 
-    /// Removes and returns the `k` lowest set indices (ascending).
-    /// `k` must not exceed [`FreeSet::len`].
-    pub fn take_lowest(&mut self, k: usize) -> Vec<u32> {
-        debug_assert!(k <= self.len, "take exceeds free count");
-        let mut out = Vec::with_capacity(k);
-        let mut w = self.first;
-        for _ in 0..k {
-            while self.words[w] == 0 {
-                w += 1;
-            }
-            let bit = self.words[w].trailing_zeros();
-            self.words[w] &= self.words[w] - 1;
-            out.push((w as u32) * 64 + bit);
-        }
-        self.first = w;
-        self.len -= k;
-        out
+    /// Removes and returns the `k` lowest free ids as an interval set.
+    ///
+    /// `k` must not exceed [`FreeSet::len`] — the engines gate every
+    /// take on the free count. A shortfall trips the debug assert; in
+    /// release builds the set is left untouched and the empty set comes
+    /// back (the validator then rejects the malformed placement).
+    pub fn take_lowest(&mut self, k: usize) -> ProcSet {
+        debug_assert!(k <= self.set.len(), "take exceeds free count");
+        self.set.take_k_lowest(k).unwrap_or_default()
     }
 
     /// Marks processor `q` free again.
     pub fn insert(&mut self, q: u32) {
-        let w = (q / 64) as usize;
-        self.words[w] |= 1u64 << (q % 64);
-        self.len += 1;
-        self.first = self.first.min(w);
+        self.set.insert(q);
+    }
+
+    /// Marks a whole claimed set free again (interval union).
+    pub fn release(&mut self, procs: &ProcSet) {
+        self.set.union_with(procs);
+    }
+
+    /// The free ids as an interval set.
+    pub fn as_procset(&self) -> &ProcSet {
+        &self.set
     }
 }
 
@@ -418,8 +404,10 @@ fn greedy(m: usize, tasks: &[ListTask]) -> Schedule {
     let mut remaining = n;
 
     let mut free = FreeSet::full(m);
-    // Completion events: (time, processors to release).
-    let mut events: BinaryHeap<(Reverse<EventTime>, Vec<u32>)> = BinaryHeap::new();
+    // Completion events: (time, processors to release). The proc set
+    // rides the heap as a few interval ranges — the PR 5 profile's
+    // per-event Σk id clone is gone.
+    let mut events: BinaryHeap<(Reverse<EventTime>, ProcSet)> = BinaryHeap::new();
     // Tasks whose ready time has not arrived yet, earliest first.
     let mut unreleased: BinaryHeap<Reverse<(EventTime, usize)>> = tasks
         .iter()
@@ -480,9 +468,7 @@ fn greedy(m: usize, tasks: &[ListTask]) -> Schedule {
                 // Peek just returned Some under the same borrow, so
                 // pop yields that event; the if-let keeps this panic-free.
                 if let Some((_, procs)) = events.pop() {
-                    for q in procs {
-                        free.insert(q);
-                    }
+                    free.release(&procs);
                 }
             } else {
                 break;
@@ -516,6 +502,7 @@ fn ordered(m: usize, tasks: &[ListTask]) -> Schedule {
 mod scan {
     use super::{EventTime, ListTask};
     use crate::{Placement, Schedule};
+    use demt_model::ProcSet;
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -544,12 +531,15 @@ mod scan {
                         continue;
                     }
                     // Take the `alloc` lowest-indexed free processors.
+                    // The scan engine keeps its Vec bookkeeping —
+                    // reference semantics — and converts to the
+                    // interval set only at the placement boundary.
                     let procs: Vec<u32> = free.drain(..t.alloc).collect();
                     schedule.push(Placement {
                         task: t.id,
                         start: now,
                         duration: t.duration,
-                        procs: procs.clone(),
+                        procs: ProcSet::from_ids(procs.iter().copied()),
                     });
                     events.push((Reverse(EventTime(now + t.duration)), procs));
                     placed[i] = true;
@@ -613,7 +603,7 @@ mod scan {
                 task: t.id,
                 start,
                 duration: t.duration,
-                procs,
+                procs: ProcSet::from_ids(procs),
             });
         }
         schedule

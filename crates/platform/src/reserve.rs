@@ -27,6 +27,7 @@
 //! placements are exactly what the unfiltered scan produced.
 
 use crate::{ListTask, Placement, Schedule, Skyline};
+use demt_model::ProcSet;
 
 /// Absolute slack mirrored from `Profile::free_during`'s `1e-12`
 /// tolerance: see the module docs on skyline pre-filtering.
@@ -177,7 +178,7 @@ pub fn backfill_schedule(m: usize, tasks: &[ListTask], reservations: &[Reservati
                     task: t.id,
                     start: s,
                     duration: t.duration,
-                    procs,
+                    procs: ProcSet::from_ids(procs),
                 });
                 placed = true;
                 break;
@@ -227,7 +228,7 @@ mod tests {
         assert_eq!(wide.start, 5.0, "wide task waits out the window");
         let thin = s.placement_of(TaskId(1)).unwrap();
         assert_eq!(thin.start, 0.0, "thin task backfills on the live node");
-        assert_eq!(thin.procs, vec![0]);
+        assert_eq!(thin.procs, ProcSet::range(0, 0));
     }
 
     #[test]
@@ -286,7 +287,7 @@ mod tests {
         for p in s.placements() {
             for r in &res {
                 for &q in &r.procs {
-                    if p.procs.contains(&q) {
+                    if p.procs.contains(q) {
                         let disjoint =
                             p.completion() <= r.start + 1e-9 || p.start >= r.end() - 1e-9;
                         assert!(disjoint, "{} collides with reservation on {q}", p.task);

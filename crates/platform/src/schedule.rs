@@ -1,6 +1,6 @@
 //! Schedule representation: explicit placements on explicit processors.
 
-use demt_model::TaskId;
+use demt_model::{ProcSet, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// One scheduled task: start time and the exact set of processor
@@ -14,8 +14,9 @@ pub struct Placement {
     /// Execution time on `procs.len()` processors — must equal
     /// `pᵢ(|procs|)`; the validator checks this against the instance.
     pub duration: f64,
-    /// Processor indices, strictly increasing, all `< m`.
-    pub procs: Vec<u32>,
+    /// Processor indices as a sorted disjoint interval set; the wire
+    /// form stays the plain id-array, all ids `< m`.
+    pub procs: ProcSet,
 }
 
 impl Placement {
@@ -38,7 +39,7 @@ impl Placement {
         out.extend_from_slice(b",\"duration\":");
         push_f64(self.duration, out);
         out.extend_from_slice(b",\"procs\":[");
-        for (i, &q) in self.procs.iter().enumerate() {
+        for (i, q) in self.procs.iter().enumerate() {
             if i > 0 {
                 out.push(b',');
             }
@@ -154,12 +155,9 @@ impl Schedule {
         &mut self.placements
     }
 
-    /// Adds a placement.
+    /// Adds a placement. Sortedness and disjointness of the processor
+    /// set are structural [`ProcSet`] invariants — no audit needed here.
     pub fn push(&mut self, p: Placement) {
-        debug_assert!(
-            p.procs.windows(2).all(|w| w[0] < w[1]),
-            "proc set must be sorted unique"
-        );
         self.placements.push(p);
     }
 
@@ -221,7 +219,7 @@ mod tests {
             task: TaskId(task),
             start,
             duration,
-            procs: procs.to_vec(),
+            procs: ProcSet::from(procs),
         }
     }
 

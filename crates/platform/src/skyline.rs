@@ -31,6 +31,7 @@
 //! reference exactly, which is what lets the differential proptest
 //! suite pin byte-identical schedules.
 
+use demt_model::ProcSet;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -446,8 +447,8 @@ impl Skyline {
 #[derive(Debug, Clone)]
 pub struct Frontier {
     procs: usize,
-    /// Availability time → sorted processor indices.
-    groups: BTreeMap<TimeKey, Vec<u32>>,
+    /// Availability time → interval set of processor indices.
+    groups: BTreeMap<TimeKey, ProcSet>,
 }
 
 impl Frontier {
@@ -455,7 +456,7 @@ impl Frontier {
     pub fn new(procs: usize) -> Self {
         let mut groups = BTreeMap::new();
         if procs > 0 {
-            groups.insert(TimeKey(0.0), (0..procs as u32).collect());
+            groups.insert(TimeKey(0.0), ProcSet::full(procs));
         }
         Self { procs, groups }
     }
@@ -477,7 +478,7 @@ impl Frontier {
     /// set, whose availability is advanced to `start + duration`.
     ///
     /// Panics if `k` is zero or exceeds the machine.
-    pub fn claim(&mut self, k: usize, ready: f64, duration: f64) -> (f64, Vec<u32>) {
+    pub fn claim(&mut self, k: usize, ready: f64, duration: f64) -> (f64, ProcSet) {
         assert!(
             k >= 1 && k <= self.procs,
             "claim of {k} of {} processors",
@@ -505,7 +506,7 @@ impl Frontier {
 
         // Take every group strictly before the boundary whole, then the
         // lowest `need` indices of the boundary group.
-        let mut procs: Vec<u32> = Vec::with_capacity(k);
+        let mut procs = ProcSet::new();
         while self
             .groups
             .first_key_value()
@@ -516,12 +517,15 @@ impl Frontier {
             let Some((_, group)) = self.groups.pop_first() else {
                 break;
             };
-            procs.extend(group);
+            procs.union_with(&group);
         }
         // Boundary was found among the group keys and only earlier
         // groups were drained, so the lookup succeeds.
         if let Some(group) = self.groups.get_mut(&boundary) {
-            procs.extend(group.drain(..need.min(group.len())));
+            let want = need.min(group.len());
+            if let Some(taken) = group.take_k_lowest(want) {
+                procs.union_with(&taken);
+            }
             if group.is_empty() {
                 self.groups.remove(&boundary);
             }
@@ -530,40 +534,18 @@ impl Frontier {
         // processors — a scheduler bug that must not place the task on
         // a partial set.
         assert_eq!(procs.len(), k, "frontier claim came up short");
-        procs.sort_unstable();
 
         // The claimed processors free up together at start + duration;
         // merge into an existing group on bitwise-equal times.
         let released = TimeKey(start + duration);
         match self.groups.get_mut(&released) {
-            Some(existing) => {
-                let merged = merge_sorted(existing, &procs);
-                *existing = merged;
-            }
+            Some(existing) => existing.union_with(&procs),
             None => {
                 self.groups.insert(released, procs.clone());
             }
         }
         (start, procs)
     }
-}
-
-/// Merges two sorted, disjoint index lists.
-fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] < b[j] {
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
 }
 
 #[cfg(test)]
@@ -804,26 +786,27 @@ mod tests {
     fn frontier_claims_earliest_lowest_indices() {
         let mut f = Frontier::new(4);
         let (s0, p0) = f.claim(2, 0.0, 5.0);
-        assert_eq!((s0, p0), (0.0, vec![0, 1]));
+        assert_eq!((s0, p0), (0.0, ProcSet::range(0, 1)));
         let (s1, p1) = f.claim(2, 0.0, 1.0);
-        assert_eq!((s1, p1), (0.0, vec![2, 3]));
+        assert_eq!((s1, p1), (0.0, ProcSet::range(2, 3)));
         // 2 and 3 free at 1, 0 and 1 at 5: a 3-wide claim starts at 5
         // and takes the earliest-available processors — 2 and 3 first,
         // then the index tiebreak picks 0 over 1.
         let (s2, p2) = f.claim(3, 0.0, 1.0);
         assert_eq!(s2, 5.0);
-        assert_eq!(p2, vec![0, 2, 3]);
+        assert_eq!(p2, ProcSet::from_ids([0, 2, 3]));
+        assert_eq!(p2.ranges(), &[(0, 0), (2, 3)]);
     }
 
     #[test]
     fn frontier_ready_time_delays_without_reordering() {
         let mut f = Frontier::new(3);
         let (s, p) = f.claim(1, 7.0, 1.0);
-        assert_eq!((s, p), (7.0, vec![0]));
+        assert_eq!((s, p), (7.0, ProcSet::range(0, 0)));
         // Processor 0 frees at 8, later than 1 and 2 (still at 0).
         let (s, p) = f.claim(3, 0.0, 1.0);
         assert_eq!(s, 8.0);
-        assert_eq!(p, vec![0, 1, 2]);
+        assert_eq!(p, ProcSet::full(3));
     }
 
     #[test]
@@ -836,6 +819,6 @@ mod tests {
         assert_eq!(f.groups(), 2);
         let (s, p) = f.claim(4, 0.0, 1.0);
         assert_eq!(s, 2.0);
-        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert_eq!(p, ProcSet::full(4));
     }
 }

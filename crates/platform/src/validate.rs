@@ -5,7 +5,7 @@
 //! [`validate_with_releases`] in the on-line setting), which verifies
 //! all invariants of a feasible moldable-task schedule.
 
-use crate::Schedule;
+use crate::{Placement, Schedule};
 use demt_model::{approx_eq, Instance, TaskId, REL_EPS};
 use std::fmt;
 
@@ -20,7 +20,8 @@ pub enum ValidationError {
     UnknownTask(TaskId),
     /// A placement has an empty processor set.
     EmptyAllotment(TaskId),
-    /// Processor indices not strictly increasing or out of range.
+    /// Processor set contains an out-of-range id (`≥ m`); sortedness
+    /// and uniqueness are structural `ProcSet` invariants.
     BadProcessorSet(TaskId),
     /// Placement duration disagrees with `pᵢ(k)` for its allotment.
     WrongDuration {
@@ -59,10 +60,7 @@ impl fmt::Display for ValidationError {
             ValidationError::UnknownTask(t) => write!(f, "{t} does not exist in the instance"),
             ValidationError::EmptyAllotment(t) => write!(f, "{t} has an empty processor set"),
             ValidationError::BadProcessorSet(t) => {
-                write!(
-                    f,
-                    "{t} has an unsorted, duplicated or out-of-range processor set"
-                )
+                write!(f, "{t} has an out-of-range processor set")
             }
             ValidationError::WrongDuration {
                 task,
@@ -109,8 +107,6 @@ pub fn validate_with_releases(
     }
 
     let mut seen = vec![false; n];
-    // Per-processor interval lists for the overlap check.
-    let mut proc_intervals: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); m];
 
     for p in schedule.placements() {
         let id = p.task;
@@ -125,8 +121,7 @@ pub fn validate_with_releases(
         if p.procs.is_empty() {
             return Err(ValidationError::EmptyAllotment(id));
         }
-        let sorted_unique = p.procs.windows(2).all(|w| w[0] < w[1]);
-        if !sorted_unique || p.procs.last().map(|&x| x as usize >= m).unwrap_or(false) {
+        if p.procs.last().is_some_and(|x| x as usize >= m) {
             return Err(ValidationError::BadProcessorSet(id));
         }
 
@@ -147,70 +142,66 @@ pub fn validate_with_releases(
                 earliest,
             });
         }
-
-        for &q in &p.procs {
-            proc_intervals[q as usize].push((p.start, p.completion(), id));
-        }
     }
 
     if let Some(missing) = seen.iter().position(|&s| !s) {
         return Err(ValidationError::MissingTask(TaskId(missing)));
     }
 
-    for (q, intervals) in proc_intervals.iter_mut().enumerate() {
-        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for w in intervals.windows(2) {
-            let (_, end_a, task_a) = w[0];
-            let (start_b, _, task_b) = w[1];
-            // Touching intervals are fine; only true overlap is an error.
-            if start_b < end_a - REL_EPS * end_a.abs().max(1.0) {
+    sweep_overlaps(schedule.placements())
+}
+
+/// Interval-direct overlap audit: placements are swept in start order
+/// and every pair that is co-active in time has its processor sets
+/// intersected as interval sets — no per-id expansion, `O(n log n)`
+/// plus intersections over the (typically tiny) co-active front.
+fn sweep_overlaps(placements: &[Placement]) -> Result<(), ValidationError> {
+    let mut order: Vec<usize> = (0..placements.len()).collect();
+    order.sort_by(|&a, &b| placements[a].start.total_cmp(&placements[b].start));
+    let mut active: Vec<usize> = Vec::new();
+    for &bi in &order {
+        let b = &placements[bi];
+        // Drop placements finished by `b.start`; touching is fine, only
+        // true overlap (same tolerance as the historical per-proc
+        // check) keeps a placement co-active.
+        active.retain(|&ai| {
+            let end_a = placements[ai].completion();
+            b.start < end_a - REL_EPS * end_a.abs().max(1.0)
+        });
+        for &ai in &active {
+            let a = &placements[ai];
+            if let Some(q) = a.procs.intersect(&b.procs).first() {
                 return Err(ValidationError::ProcessorConflict {
-                    proc: q as u32,
-                    a: task_a,
-                    b: task_b,
+                    proc: q,
+                    a: a.task,
+                    b: b.task,
                 });
             }
         }
+        active.push(bi);
     }
     Ok(())
 }
 
-/// Instance-free structural audit: every processor set is sorted,
-/// unique and within range, and no two placements overlap on a
-/// processor. This is the check available when a schedule has no
-/// backing [`Instance`] — raw [`crate::ListTask`] lists in the skyline
-/// differential suite, CLI grids — where the full [`validate`] cannot
-/// run (durations and completeness need the instance).
+/// Instance-free structural audit: every processor set is within
+/// range and no two placements overlap on a processor, checked
+/// directly on the interval representation (sortedness and
+/// disjointness are `ProcSet` invariants). This is the check
+/// available when a schedule has no backing [`Instance`] — raw
+/// [`crate::ListTask`] lists in the skyline differential suite, CLI
+/// grids — where the full [`validate`] cannot run (durations and
+/// completeness need the instance).
 pub fn validate_no_overlap(schedule: &Schedule) -> Result<(), ValidationError> {
     let m = schedule.procs();
-    let mut proc_intervals: Vec<Vec<(f64, f64, TaskId)>> = vec![Vec::new(); m];
     for p in schedule.placements() {
         if p.procs.is_empty() {
             return Err(ValidationError::EmptyAllotment(p.task));
         }
-        let sorted_unique = p.procs.windows(2).all(|w| w[0] < w[1]);
-        if !sorted_unique || p.procs.last().map(|&x| x as usize >= m).unwrap_or(false) {
+        if p.procs.last().is_some_and(|x| x as usize >= m) {
             return Err(ValidationError::BadProcessorSet(p.task));
         }
-        for &q in &p.procs {
-            proc_intervals[q as usize].push((p.start, p.completion(), p.task));
-        }
     }
-    for (q, intervals) in proc_intervals.iter_mut().enumerate() {
-        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for w in intervals.windows(2) {
-            let (_, end_a, task_a) = w[0];
-            let (start_b, _, task_b) = w[1];
-            if start_b < end_a - REL_EPS * end_a.abs().max(1.0) {
-                return Err(ValidationError::ProcessorConflict {
-                    proc: q as u32,
-                    a: task_a,
-                    b: task_b,
-                });
-            }
-        }
-    }
-    Ok(())
+    sweep_overlaps(schedule.placements())
 }
 
 /// Panicking wrapper for tests and examples.
@@ -240,13 +231,13 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 2.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         s.push(Placement {
             task: TaskId(1),
             start: 2.0,
             duration: 2.0,
-            procs: vec![1, 2],
+            procs: vec![1, 2].into(),
         });
         s
     }
@@ -269,7 +260,7 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 2.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         assert_eq!(
             validate(&instance(), &s),
@@ -284,7 +275,7 @@ mod tests {
             task: TaskId(0),
             start: 5.0,
             duration: 4.0,
-            procs: vec![0],
+            procs: vec![0].into(),
         });
         assert_eq!(
             validate(&instance(), &s),
@@ -296,7 +287,7 @@ mod tests {
             task: TaskId(9),
             start: 5.0,
             duration: 1.0,
-            procs: vec![0],
+            procs: vec![0].into(),
         });
         assert_eq!(
             validate(&instance(), &s),
@@ -324,13 +315,13 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 2.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         s.push(Placement {
             task: TaskId(1),
             start: 1.0,
             duration: 2.0,
-            procs: vec![1, 2],
+            procs: vec![1, 2].into(),
         });
         assert!(matches!(
             validate(&instance(), &s),
@@ -340,22 +331,21 @@ mod tests {
 
     #[test]
     fn detects_bad_processor_sets() {
+        // Unsorted id lists are unrepresentable now: conversion
+        // canonicalizes, so the old `[1, 0]` failure mode is gone.
         let mut s = ok_schedule();
-        s.placements_mut()[0].procs = vec![1, 0];
+        s.placements_mut()[0].procs = vec![1, 0].into();
+        validate(&instance(), &s).unwrap();
+
+        let mut s = ok_schedule();
+        s.placements_mut()[0].procs = vec![0, 7].into();
         assert_eq!(
             validate(&instance(), &s),
             Err(ValidationError::BadProcessorSet(TaskId(0)))
         );
 
         let mut s = ok_schedule();
-        s.placements_mut()[0].procs = vec![0, 7];
-        assert_eq!(
-            validate(&instance(), &s),
-            Err(ValidationError::BadProcessorSet(TaskId(0)))
-        );
-
-        let mut s = ok_schedule();
-        s.placements_mut()[0].procs = vec![];
+        s.placements_mut()[0].procs = demt_model::ProcSet::new();
         assert_eq!(
             validate(&instance(), &s),
             Err(ValidationError::EmptyAllotment(TaskId(0)))
@@ -371,7 +361,7 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 2.0,
-            procs: vec![0, 1],
+            procs: vec![0, 1].into(),
         });
         validate_no_overlap(&s).unwrap();
         // …while a forced overlap is still caught.
@@ -379,7 +369,7 @@ mod tests {
             task: TaskId(1),
             start: 1.0,
             duration: 2.0,
-            procs: vec![1],
+            procs: vec![1].into(),
         });
         assert!(matches!(
             validate_no_overlap(&s),
@@ -391,7 +381,7 @@ mod tests {
             task: TaskId(0),
             start: 0.0,
             duration: 1.0,
-            procs: vec![5],
+            procs: vec![5].into(),
         });
         assert_eq!(
             validate_no_overlap(&s),

@@ -4,7 +4,7 @@
 //! a validator that accepts garbage would silently void half the
 //! workspace's test suite.
 
-use demt_model::{Instance, InstanceBuilder, TaskId};
+use demt_model::{Instance, InstanceBuilder, ProcSet, TaskId};
 use demt_platform::{list_schedule, validate, ListPolicy, ListTask, Schedule, ValidationError};
 use proptest::prelude::*;
 
@@ -80,8 +80,10 @@ proptest! {
     fn out_of_range_processor_is_caught((inst, s) in instance_and_schedule(), pick in any::<prop::sample::Index>()) {
         let mut placements = s.placements().to_vec();
         let victim = pick.index(placements.len());
-        let last = placements[victim].procs.len() - 1;
-        placements[victim].procs[last] = inst.procs() as u32 + 3;
+        let mut ids = placements[victim].procs.to_ids();
+        let last = ids.len() - 1;
+        ids[last] = inst.procs() as u32 + 3;
+        placements[victim].procs = ProcSet::from_ids(ids);
         let broken = Schedule::from_placements(inst.procs(), placements);
         prop_assert!(matches!(validate(&inst, &broken), Err(ValidationError::BadProcessorSet(_))));
     }
@@ -97,11 +99,12 @@ proptest! {
         let b = (a + 1) % placements.len();
         // Give task b the same start and one shared processor as a.
         placements[b].start = placements[a].start;
-        let shared = placements[a].procs[0];
-        if !placements[b].procs.contains(&shared) {
-            placements[b].procs[0] = shared;
-            placements[b].procs.sort_unstable();
-            placements[b].procs.dedup();
+        let shared = placements[a].procs.first().unwrap();
+        if !placements[b].procs.contains(shared) {
+            let mut ids = placements[b].procs.to_ids();
+            ids[0] = shared;
+            // from_ids re-canonicalizes (sorts, dedups) the mutated list.
+            placements[b].procs = ProcSet::from_ids(ids);
             // Keep the duration consistent with the (possibly changed)
             // allotment so only the overlap can be the error.
             let k = placements[b].procs.len();

@@ -178,7 +178,7 @@ proptest! {
         for p in s.placements() {
             for r in &reservations {
                 for &q in &r.procs {
-                    if p.procs.contains(&q) {
+                    if p.procs.contains(q) {
                         let disjoint = p.completion() <= r.start + 1e-9 || p.start >= r.end() - 1e-9;
                         prop_assert!(disjoint, "{} collides with a reservation on {q}", p.task);
                     }

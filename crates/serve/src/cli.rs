@@ -22,7 +22,9 @@ options:
                      bytes are identical for every N)
   --tick N           stats snapshot every N decisions (default: final only)
   --stats PATH       write stats JSON lines to PATH (default: stderr)
-  --oracle           verify against the all-at-once batch wrapper at EOF
+  --oracle           self-check at EOF: cancel-free feeds diff against the
+                     all-at-once batch wrapper, cancel feeds against a
+                     single-worker replay; both audit for overlaps
   --seed S           lift seed for --replay / trace seed for --gen-grid
   --once             with --socket: serve one connection, then exit
 ";

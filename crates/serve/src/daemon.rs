@@ -30,9 +30,13 @@ pub struct ServeConfig {
     /// Emit a stats snapshot every `tick` decisions (`0` = only the
     /// final snapshot).
     pub tick: usize,
-    /// Re-run the whole (cancel-free) feed through
-    /// [`try_online_batch_schedule`] at end of stream and fail unless
-    /// the placements match byte for byte.
+    /// Differential self-check at end of stream. Cancel-free feeds are
+    /// re-planned through [`try_online_batch_schedule`] and must match
+    /// placement by placement, byte for byte; feeds with cancels (which
+    /// have no all-at-once twin) are instead replayed through a fresh
+    /// single-worker loop and must reproduce the emitted bytes exactly.
+    /// Both variants audit the final schedule with
+    /// [`demt_platform::validate_no_overlap`].
     pub oracle: bool,
 }
 
@@ -152,6 +156,10 @@ where
     let mut batches = 0usize;
     let mut last_tick = 0u64;
     let mut oracle_feed: Vec<OnlineJob> = Vec::new();
+    // Under --oracle: the full event log in processed (= input) order,
+    // and a mirror of every byte written, for the replay comparison.
+    let mut oracle_events: Vec<JobEvent> = Vec::new();
+    let mut oracle_mirror: Vec<u8> = Vec::new();
 
     loop {
         // Admission to fixpoint: gather every event admissible at the
@@ -215,6 +223,9 @@ where
                 }))
             });
             for ((line, ev), lift) in cohort.iter().zip(lifted) {
+                if cfg.oracle {
+                    oracle_events.push(ev.clone());
+                }
                 match lift {
                     Some(Ok((task, hash))) => {
                         if cfg.oracle {
@@ -232,13 +243,6 @@ where
                         })
                     }
                     None => {
-                        if cfg.oracle {
-                            return Err(ServeError::Config(
-                                "--oracle needs a cancel-free trace (the batch \
-                                 wrapper has no cancellation)"
-                                    .into(),
-                            ));
-                        }
                         if !bl.cancel(TaskId(ev.job)) {
                             return Err(ServeError::Event {
                                 line: *line,
@@ -275,6 +279,9 @@ where
             for l in &lines {
                 out.write_all(l)
                     .map_err(|e| ServeError::Io(e.to_string()))?;
+                if cfg.oracle {
+                    oracle_mirror.extend_from_slice(l);
+                }
             }
             if cfg.tick > 0 {
                 let due = stats.decisions() / cfg.tick as u64;
@@ -301,7 +308,14 @@ where
         horizon: bl.now(),
     };
     if cfg.oracle {
-        check_oracle(cfg, &oracle_feed, scheduler, bl)?;
+        check_oracle(
+            cfg,
+            &oracle_feed,
+            &oracle_events,
+            &oracle_mirror,
+            scheduler,
+            bl,
+        )?;
     }
     Ok(summary)
 }
@@ -320,25 +334,61 @@ fn write_snapshot(
     writeln!(sink, "{line}").map_err(|e| ServeError::Io(e.to_string()))
 }
 
-/// The `--oracle` differential check: the same feed, re-planned from
-/// scratch by the all-at-once batch wrapper, must serialize to the
-/// same bytes placement by placement.
+/// The `--oracle` differential check. Cancel-free feeds are re-planned
+/// from scratch by the all-at-once batch wrapper and must serialize to
+/// the same bytes placement by placement. Feeds with cancels have no
+/// batch-wrapper twin, so the recorded event log is replayed through a
+/// fresh single-worker loop instead and must reproduce the daemon's
+/// output bytes exactly. Both variants first audit the final schedule
+/// for processor conflicts on the interval sets.
 fn check_oracle(
     cfg: &ServeConfig,
     feed: &[OnlineJob],
+    events: &[JobEvent],
+    mirror: &[u8],
     scheduler: &dyn Scheduler,
     bl: BatchLoop,
 ) -> Result<(), ServeError> {
     let incremental = bl.finish().schedule;
-    let batch = try_online_batch_schedule(cfg.procs, feed, scheduler)?.schedule;
-    let a = serde_json::to_string(&incremental).map_err(|e| ServeError::Io(e.to_string()))?;
-    let b = serde_json::to_string(&batch).map_err(|e| ServeError::Io(e.to_string()))?;
-    if a != b {
+    demt_platform::validate_no_overlap(&incremental)
+        .map_err(|e| ServeError::Oracle(format!("post-stream overlap audit: {e}")))?;
+    if events.iter().all(JobEvent::is_submit) {
+        let batch = try_online_batch_schedule(cfg.procs, feed, scheduler)?.schedule;
+        let a = serde_json::to_string(&incremental).map_err(|e| ServeError::Io(e.to_string()))?;
+        let b = serde_json::to_string(&batch).map_err(|e| ServeError::Io(e.to_string()))?;
+        if a != b {
+            return Err(ServeError::Oracle(format!(
+                "daemon emitted {} placements, batch wrapper {} — serialized \
+                 schedules differ",
+                incremental.len(),
+                batch.len()
+            )));
+        }
+        return Ok(());
+    }
+    let mut replay_cfg = cfg.clone();
+    replay_cfg.oracle = false;
+    replay_cfg.workers = 1;
+    replay_cfg.tick = 0;
+    let mut replay_out = Vec::new();
+    let mut replay_stats = ServeStats::new(cfg.procs);
+    run_events(
+        &replay_cfg,
+        events
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, e)| Ok((i + 1, e))),
+        &mut replay_out,
+        &mut replay_stats,
+        None,
+    )?;
+    if replay_out != mirror {
         return Err(ServeError::Oracle(format!(
-            "daemon emitted {} placements, batch wrapper {} — serialized \
-             schedules differ",
-            incremental.len(),
-            batch.len()
+            "cancel-trace replay diverged: daemon wrote {} bytes, the \
+             single-worker replay {}",
+            mirror.len(),
+            replay_out.len()
         )));
     }
     Ok(())

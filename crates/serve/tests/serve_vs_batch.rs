@@ -227,3 +227,90 @@ fn event_and_task_lift_agree_on_rigid_profiles() {
     let direct = MoldableTask::rigid(TaskId(0), 2.0, 3, 4.0, m).expect("valid");
     assert_eq!(task, direct);
 }
+
+/// Random cancel-bearing logs built to stay *valid*: a machine-filling
+/// blocker keeps every later submit pending until far in the future, so
+/// cancels with timestamps inside the blocker's run always target a
+/// pending job, and timestamps increase along the stream as the daemon
+/// requires.
+fn cancel_log() -> impl Strategy<Value = (usize, Vec<JobEvent>, Vec<usize>)> {
+    (2usize..=8).prop_flat_map(|m| {
+        (
+            prop::collection::vec((0.01f64..0.5, 1usize..=m, 0.1f64..4.0), 1..12),
+            prop::collection::vec(any::<bool>(), 12),
+        )
+            .prop_map(move |(rows, kill)| {
+                let mut events = vec![JobEvent::submit_rigid(0, 0.0, 1.0, m, 1000.0)];
+                let mut t = 0.0;
+                for (i, (gap, procs, time)) in rows.iter().enumerate() {
+                    t += gap;
+                    events.push(JobEvent::submit_rigid(i + 1, t, 1.0, *procs, *time));
+                }
+                let mut cancelled = Vec::new();
+                for (i, _) in rows.iter().enumerate() {
+                    if kill[i] {
+                        t += 0.01;
+                        events.push(JobEvent::cancel(i + 1, t));
+                        cancelled.push(i + 1);
+                    }
+                }
+                (m, events, cancelled)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cancel_traces_pass_the_oracle_and_omit_cancelled_jobs(
+        (m, events, cancelled) in cancel_log()
+    ) {
+        // `--oracle` on a cancel trace replays the recorded log through
+        // a fresh single-worker loop and audits the final schedule for
+        // interval overlaps; daemon_output unwraps, so any divergence
+        // or audit failure fails the test.
+        let mut cfg = ServeConfig::new(m);
+        cfg.oracle = true;
+        cfg.workers = 2;
+        let out = daemon_output(&cfg, &events);
+        let placed: Vec<usize> = String::from_utf8(out)
+            .expect("UTF-8 JSON")
+            .lines()
+            .map(|l| {
+                let p: demt_platform::Placement = serde_json::from_str(l).expect("placement");
+                p.task.index()
+            })
+            .collect();
+        for id in &cancelled {
+            prop_assert!(!placed.contains(id), "cancelled job {id} was placed");
+        }
+        let submits = events.iter().filter(|e| e.is_submit()).count();
+        prop_assert_eq!(placed.len(), submits - cancelled.len());
+    }
+
+    #[test]
+    fn cancels_never_corrupt_the_skyline_mirror((m, events, _) in cancel_log()) {
+        // Drive the BatchLoop directly with the same submit/cancel
+        // interleaving, then drain: once nothing is pending, the
+        // machine-skyline mirror must collapse back to one all-free
+        // segment — a cancel that left a phantom window behind would
+        // keep processors busy forever.
+        use demt_model::TaskId;
+        let mut bl = demt_online::BatchLoop::new(m);
+        let scheduler = demt_serve::resolve_scheduler("greedy").expect("built-in");
+        for ev in &events {
+            if ev.is_submit() {
+                let task = ev.to_task(m).expect("valid submit");
+                bl.submit(task, ev.release).expect("valid release");
+            } else {
+                prop_assert!(bl.cancel(TaskId(ev.job)), "cancel target must be pending");
+            }
+        }
+        while bl.run_batch(scheduler).expect("valid batches") > 0 {}
+        demt_platform::validate_no_overlap(bl.schedule()).expect("overlap-free schedule");
+        let sky = bl.context().machine().expect("attached mirror");
+        prop_assert_eq!(sky.segments(), 1, "stale windows survive the drain");
+        prop_assert_eq!(sky.free_at(bl.now()), m, "mirror is not all-free");
+    }
+}

@@ -143,7 +143,21 @@ fn schedule_cmd(opts: &Opts) {
         ))
     };
     let mut ctx = SchedulerContext::new();
-    let report = alg.schedule(&inst, &mut ctx);
+    let report = match opts.get("hierarchy") {
+        Some(spec) => {
+            let h =
+                Hierarchy::parse(spec).unwrap_or_else(|e| die(&format!("bad --hierarchy: {e}")));
+            if h.total_cores() != inst.procs() {
+                die(&format!(
+                    "--hierarchy {h} has {} cores but the instance has {} processors",
+                    h.total_cores(),
+                    inst.procs()
+                ));
+            }
+            HierarchicalScheduler::new(alg, h).schedule(&inst, &mut ctx)
+        }
+        None => alg.schedule(&inst, &mut ctx),
+    };
     validate(&inst, &report.schedule)
         .unwrap_or_else(|e| die(&format!("internal: invalid schedule: {e}")));
     // The report already carries the evaluated criteria; nothing is
@@ -455,10 +469,12 @@ USAGE: demt <COMMAND> [--flag value]...
 COMMANDS
   generate  --kind weakly|highly|mixed|cirne --tasks N --procs M --seed S
             emit a JSON instance on stdout
-  schedule  --algorithm NAME [--metrics text|json]
+  schedule  --algorithm NAME [--metrics text|json] [--hierarchy CxNxK]
             read an instance from stdin, emit a JSON schedule on stdout
             (criteria go to stderr; NAME is any registry entry, see
-            `demt algorithms`)
+            `demt algorithms`); --hierarchy CxNxK (clusters × nodes ×
+            cores, product = instance procs) runs NAME at node
+            granularity and expands placements to whole-node core blocks
   algorithms
             list the scheduler registry (name and figure legend)
   listbench --procs M --tasks N [--seed S] [--policy greedy|ordered]

@@ -89,8 +89,8 @@ pub use demt_workload as workload;
 /// the registry → schedule → validate → bound.
 pub mod prelude {
     pub use demt_api::{
-        FnScheduler, PhaseTiming, ReportTimer, ScheduleReport, Scheduler, SchedulerContext,
-        SchedulerRegistry,
+        FnScheduler, HierarchicalScheduler, PhaseTiming, ReportTimer, ScheduleReport, Scheduler,
+        SchedulerContext, SchedulerRegistry,
     };
     pub use demt_baselines::{
         gang, list_saf, list_shelf, list_wlptf, registry, run_baseline, sequential_lptf,
@@ -107,7 +107,10 @@ pub mod prelude {
     };
     pub use demt_dual::{cmax_lower_bound, dual_approx, DualConfig, DualResult};
     pub use demt_exec::Pool;
-    pub use demt_model::{Instance, InstanceBuilder, MoldableTask, TaskId};
+    pub use demt_model::{
+        Hierarchy, HierarchyError, HierarchyLevel, HierarchyRequest, Instance, InstanceBuilder,
+        MoldableTask, ProcSet, TaskId,
+    };
     pub use demt_online::{
         online_batch_schedule, try_online_batch_schedule, BatchLoop, OnlineError, OnlineJob,
         OnlineResult,

@@ -127,3 +127,109 @@ fn adapters_agree_with_the_original_free_functions() {
     assert_eq!(by("lptf"), list_wlptf(&inst, &dual));
     assert_eq!(by("saf"), list_saf(&inst, &dual));
 }
+
+#[test]
+fn placements_audit_clean_on_intervals_and_replay_byte_identically() {
+    // The ProcSet migration contract, per registry entry: the interval
+    // audit passes directly on the interval sets, every placement's
+    // ranges are canonical (sorted, disjoint, non-adjacent), and a
+    // second run from a fresh context serializes byte-for-byte.
+    for kind in WorkloadKind::ALL {
+        let inst = generate(kind, 25, 8, 7);
+        for s in registry().all() {
+            let first = s.schedule(&inst, &mut SchedulerContext::new());
+            validate_no_overlap(&first.schedule)
+                .unwrap_or_else(|e| panic!("{kind}/{}: {e}", s.name()));
+            for p in first.schedule.placements() {
+                for w in p.procs.ranges().windows(2) {
+                    assert!(
+                        w[0].1 + 1 < w[1].0,
+                        "{kind}/{}: non-canonical interval set {:?}",
+                        s.name(),
+                        p.procs
+                    );
+                }
+            }
+            let second = s.schedule(&inst, &mut SchedulerContext::new());
+            assert_eq!(
+                serde_json::to_string(&first.schedule).unwrap(),
+                serde_json::to_string(&second.schedule).unwrap(),
+                "{kind}/{}: replay diverged",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheduler_conforms_under_the_hierarchy_adapter() {
+    // 2 clusters × 2 nodes × 2 cores = the 8-processor machine the
+    // conformance instances use; every entry must stay valid with
+    // whole-node (even-aligned 2-core) allotments and criteria that
+    // match a fresh evaluation on the *original* instance.
+    let h = Hierarchy::parse("2x2x2").unwrap();
+    for kind in WorkloadKind::ALL {
+        let inst = generate(kind, 20, 8, 5);
+        for s in registry().all() {
+            let wrapped = HierarchicalScheduler::new(s, h);
+            let report = wrapped.schedule(&inst, &mut SchedulerContext::new());
+            validate(&inst, &report.schedule)
+                .unwrap_or_else(|e| panic!("{kind}/{}: {e}", wrapped.name()));
+            let fresh = Criteria::evaluate(&inst, &report.schedule);
+            assert_eq!(
+                report.criteria,
+                fresh,
+                "{kind}/{}: criteria diverge from fresh evaluation",
+                wrapped.name()
+            );
+            for p in report.schedule.placements() {
+                for &(lo, hi) in p.procs.ranges() {
+                    assert!(
+                        lo % 2 == 0 && hi % 2 == 1,
+                        "{kind}/{}: allotment {:?} splits a node",
+                        wrapped.name(),
+                        p.procs
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serve_placements_are_byte_identical_for_one_and_four_workers() {
+    // The daemon's worker pool only parallelizes lifting and
+    // serialization; per registry entry, workers=1 and workers=4 must
+    // emit the same bytes.
+    let events: Vec<JobEvent> = (0..14)
+        .map(|i| JobEvent::submit_rigid(i, (i / 3) as f64, 1.0, 1 + i % 5, 1.0 + (i % 3) as f64))
+        .collect();
+    let run = |algorithm: &str, workers: usize| {
+        let mut cfg = ServeConfig::new(8);
+        cfg.algorithm = algorithm.to_string();
+        cfg.workers = workers;
+        let mut out = Vec::new();
+        let mut stats = ServeStats::new(cfg.procs);
+        run_events(
+            &cfg,
+            events
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, e)| Ok((i + 1, e))),
+            &mut out,
+            &mut stats,
+            None,
+        )
+        .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+        out
+    };
+    for s in registry().all() {
+        assert_eq!(
+            run(s.name(), 1),
+            run(s.name(), 4),
+            "{}: workers=1 vs workers=4 diverged",
+            s.name()
+        );
+    }
+}
