@@ -1,0 +1,725 @@
+//! `demt replaybench` — archive-scale replay benchmark harness.
+//!
+//! Feeds a job trace — synthetic ([`TraceSpec`] one-liner, streamed by
+//! [`TraceGen`]) or a real SWF file (streamed by
+//! [`SwfJobStream`](demt_frontend::SwfJobStream)) — through the two
+//! production scheduling paths in constant memory:
+//!
+//! * the **serve** leg: moldable jobs through the persistent
+//!   Shmoys–Wein–Williamson core
+//!   ([`demt_online::stream_batch_schedule`], the same engine behind
+//!   `demt serve`), planning with any registry scheduler;
+//! * the **queue** leg: rigid knee-rule requests through the streaming
+//!   FCFS / EASY-backfilling engine
+//!   ([`demt_frontend::replay_queue`]).
+//!
+//! Each leg folds its placements into a [`ReplayMetrics`] accumulator
+//! and an FNV-1a content hash as they are emitted, so a million-job
+//! replay never materializes a schedule. Results split over two
+//! channels, like every other engine in this workspace:
+//!
+//! * **stdout** — one deterministic JSON document (keys sorted, no
+//!   timing), byte-identical for any `--workers` count; the CI bench
+//!   job `cmp`s two runs to enforce it.
+//! * **stderr** (and `--bench-out`, appended) — one
+//!   `{"bench":"replaybench",...}` JSON line per leg with wall seconds,
+//!   jobs/sec, and p50/p99 decision latency from a
+//!   [`LatencyHistogram`]. This module is on the `lint.toml`
+//!   `[paths].timing` allowlist: wall clocks feed these report lines
+//!   only, never a scheduling decision.
+//!
+//! `--floors FILE --tier NAME` turns the run into a perf gate: measured
+//! jobs/sec below the checked-in floor exits non-zero.
+
+use demt_exec::Pool;
+use demt_frontend::{
+    replay_queue, rigid_request, MetricsError, QueueOrder, QueuePolicy, ReplayMetrics,
+    ReplaySummary, SubmittedJob, SwfJobStream,
+};
+use demt_online::{stream_batch_schedule, OnlineJob};
+use demt_serve::{resolve_scheduler, LatencyHistogram};
+use demt_workload::{TraceGen, TraceSpec};
+use serde_json::{json, Value};
+use std::cell::RefCell;
+use std::io::{BufReader, Write};
+use std::rc::Rc;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: demt replaybench --gen-trace SPEC [options]     replay a synthetic trace
+       demt replaybench --swf FILE --procs M [options] replay an SWF trace
+
+SPEC is a one-liner like  n=2e4,m=1e3,seed=7[,kind=cirne,gap=0.05,shape=2.5]
+
+options:
+  --engine NAME      queue, serve, or both (default both)
+  --algorithm NAME   serve-leg scheduler: greedy (default) or a registry
+                     name (demt, gang, ...)
+  --policy NAME      queue-leg discipline: easy (default) or fcfs
+  --order NAME       queue-leg order: arrival (default) or priority
+  --workers N        serialization worker threads (default 1; stdout
+                     bytes are identical for every N)
+  --seed S           SWF moldable-lift seed (default 0)
+  --floors FILE      gate jobs/sec against a floors TOML
+  --tier NAME        floors section to gate against (required with --floors)
+  --bench-out FILE   append the timing JSON lines to FILE
+  --label S          free-form label copied into the timing lines
+";
+
+/// Where the jobs come from.
+enum Source {
+    /// Synthetic trace streamed from a [`TraceSpec`].
+    Gen(TraceSpec),
+    /// SWF file streamed from disk, lifted on `m` processors.
+    Swf { path: String, procs: usize },
+}
+
+impl Source {
+    fn procs(&self) -> usize {
+        match self {
+            Source::Gen(spec) => spec.procs,
+            Source::Swf { procs, .. } => *procs,
+        }
+    }
+
+    /// The deterministic source label in the output documents.
+    fn label(&self) -> String {
+        match self {
+            Source::Gen(spec) => format!("gen:{}", spec.display()),
+            Source::Swf { path, .. } => format!("swf:{path}"),
+        }
+    }
+}
+
+struct Opts {
+    source: Source,
+    queue_leg: bool,
+    serve_leg: bool,
+    algorithm: String,
+    policy: QueuePolicy,
+    order: QueueOrder,
+    workers: usize,
+    seed: u64,
+    floors: Option<String>,
+    tier: Option<String>,
+    bench_out: Option<String>,
+    label: String,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut gen_trace: Option<String> = None;
+    let mut swf: Option<String> = None;
+    let mut procs = 0usize;
+    let mut o = Opts {
+        source: Source::Gen(TraceSpec::new(1, 1, 0)),
+        queue_leg: true,
+        serve_leg: true,
+        algorithm: "greedy".to_string(),
+        policy: QueuePolicy::EasyBackfill,
+        order: QueueOrder::Arrival,
+        workers: 1,
+        seed: 0,
+        floors: None,
+        tier: None,
+        bench_out: None,
+        label: String::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--gen-trace" => gen_trace = Some(value(&mut it, "gen-trace")?.clone()),
+            "--swf" => swf = Some(value(&mut it, "swf")?.clone()),
+            "--procs" => procs = parse_num(value(&mut it, "procs")?, "procs")?,
+            "--engine" => match value(&mut it, "engine")?.as_str() {
+                "queue" => {
+                    o.queue_leg = true;
+                    o.serve_leg = false;
+                }
+                "serve" => {
+                    o.queue_leg = false;
+                    o.serve_leg = true;
+                }
+                "both" => {
+                    o.queue_leg = true;
+                    o.serve_leg = true;
+                }
+                other => return Err(format!("bad --engine {other:?} (queue|serve|both)")),
+            },
+            "--algorithm" => o.algorithm = value(&mut it, "algorithm")?.clone(),
+            "--policy" => match value(&mut it, "policy")?.as_str() {
+                "easy" => o.policy = QueuePolicy::EasyBackfill,
+                "fcfs" => o.policy = QueuePolicy::Fcfs,
+                other => return Err(format!("bad --policy {other:?} (easy|fcfs)")),
+            },
+            "--order" => match value(&mut it, "order")?.as_str() {
+                "arrival" => o.order = QueueOrder::Arrival,
+                "priority" => o.order = QueueOrder::Priority,
+                other => return Err(format!("bad --order {other:?} (arrival|priority)")),
+            },
+            "--workers" => o.workers = parse_num(value(&mut it, "workers")?, "workers")?,
+            "--seed" => o.seed = parse_num(value(&mut it, "seed")?, "seed")?,
+            "--floors" => o.floors = Some(value(&mut it, "floors")?.clone()),
+            "--tier" => o.tier = Some(value(&mut it, "tier")?.clone()),
+            "--bench-out" => o.bench_out = Some(value(&mut it, "bench-out")?.clone()),
+            "--label" => o.label = value(&mut it, "label")?.clone(),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    o.source = match (gen_trace, swf) {
+        (Some(spec), None) => Source::Gen(spec.parse()?),
+        (None, Some(path)) => {
+            if procs == 0 {
+                return Err("--swf needs --procs".to_string());
+            }
+            Source::Swf { path, procs }
+        }
+        (Some(_), Some(_)) => return Err("--gen-trace and --swf are exclusive".to_string()),
+        (None, None) => return Err("need --gen-trace or --swf".to_string()),
+    };
+    if o.floors.is_some() != o.tier.is_some() {
+        return Err("--floors and --tier go together".to_string());
+    }
+    if o.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(o)
+}
+
+fn value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("--{flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad --{flag} value {v:?}"))
+}
+
+/// FNV-1a 64 over the placements' compact JSON, in decision order — the
+/// workers-independent fingerprint of the whole schedule.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// First error raised inside a streaming source, smuggled out of the
+/// infallible iterator the engines consume.
+type ErrSlot = Rc<RefCell<Option<String>>>;
+
+/// Fuses a fallible job stream into an infallible one: the first error
+/// is parked in the slot and the stream ends there, so the engine
+/// finishes what it already admitted and the driver reports the error.
+fn fuse<I>(inner: I) -> (impl Iterator<Item = SubmittedJob>, ErrSlot)
+where
+    I: Iterator<Item = Result<SubmittedJob, String>>,
+{
+    let slot: ErrSlot = Rc::new(RefCell::new(None));
+    let sink = Rc::clone(&slot);
+    let fused = inner.map_while(move |r| match r {
+        Ok(job) => Some(job),
+        Err(e) => {
+            sink.borrow_mut().get_or_insert(e);
+            None
+        }
+    });
+    (fused, slot)
+}
+
+/// Opens the configured source as a fallible [`SubmittedJob`] stream.
+/// Each call re-opens it from the start — legs must not share cursors.
+fn open_source(
+    opts: &Opts,
+) -> Result<Box<dyn Iterator<Item = Result<SubmittedJob, String>>>, String> {
+    match &opts.source {
+        Source::Gen(spec) => {
+            let m = spec.procs;
+            Ok(Box::new(TraceGen::new(spec).map(move |tj| {
+                let rigid_procs = rigid_request(&tj.task, m);
+                Ok(SubmittedJob {
+                    task: tj.task,
+                    release: tj.release,
+                    rigid_procs,
+                })
+            })))
+        }
+        Source::Swf { path, procs } => {
+            let file = std::fs::File::open(path).map_err(|e| format!("--swf {path}: {e}"))?;
+            Ok(Box::new(
+                SwfJobStream::new(BufReader::new(file), *procs, opts.seed)
+                    .map(|r| r.map_err(|e| format!("swf line {}: {}", e.line, e.message))),
+            ))
+        }
+    }
+}
+
+/// Everything one leg produces: the deterministic record for stdout and
+/// the timing numbers for the stderr/trend line.
+struct LegReport {
+    engine: &'static str,
+    record: Value,
+    decisions: usize,
+    wall_seconds: f64,
+    jobs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Shared per-leg accumulator state: metrics fold, content hash, and
+/// the decision-latency histogram.
+struct LegState {
+    metrics: ReplayMetrics,
+    hash: Fnv,
+    hist: LatencyHistogram,
+    last: Instant,
+    metrics_err: Option<MetricsError>,
+    buf: Vec<u8>,
+}
+
+impl LegState {
+    fn new() -> Self {
+        Self {
+            metrics: ReplayMetrics::new(),
+            hash: Fnv::new(),
+            hist: LatencyHistogram::new(),
+            last: Instant::now(),
+            metrics_err: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Nanoseconds since the previous decision event on this leg.
+    fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let nanos = now
+            .duration_since(self.last)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        self.last = now;
+        nanos
+    }
+
+    fn finish(
+        self,
+        m: usize,
+        started: Instant,
+        decisions: usize,
+    ) -> Result<(ReplaySummary, Fnv, f64, f64, f64), String> {
+        if let Some(e) = self.metrics_err {
+            return Err(format!("metrics: {e}"));
+        }
+        let summary = self
+            .metrics
+            .finish(m)
+            .map_err(|e| format!("metrics: {e}"))?;
+        let wall = started.elapsed().as_secs_f64();
+        let p50 = self.hist.quantile(0.50) as f64 / 1e3;
+        let p99 = self.hist.quantile(0.99) as f64 / 1e3;
+        let _ = decisions;
+        Ok((summary, self.hash, wall, p50, p99))
+    }
+}
+
+fn queue_leg(opts: &Opts) -> Result<LegReport, String> {
+    let m = opts.source.procs();
+    let (feed, err) = {
+        let inner = open_source(opts)?;
+        fuse(inner)
+    };
+    let started = Instant::now();
+    let mut st = LegState::new();
+    let state = RefCell::new(&mut st);
+    let outcome = replay_queue(m, feed, opts.policy, opts.order, |job, p| {
+        let st = &mut **state.borrow_mut();
+        let nanos = st.lap();
+        st.hist.record(nanos, 1);
+        st.buf.clear();
+        p.write_json(&mut st.buf);
+        let buf = std::mem::take(&mut st.buf);
+        st.hash.update(&buf);
+        st.buf = buf;
+        if let Err(e) = st
+            .metrics
+            .record(p.task, job.release, p.start, p.duration, p.procs.len())
+        {
+            st.metrics_err.get_or_insert(e);
+        }
+    })
+    .map_err(|e| format!("queue replay: {e}"))?;
+    if let Some(e) = err.borrow_mut().take() {
+        return Err(e);
+    }
+    let (summary, hash, wall, p50, p99) = st.finish(m, started, outcome.decisions)?;
+    let policy = match opts.policy {
+        QueuePolicy::EasyBackfill => "easy",
+        QueuePolicy::Fcfs => "fcfs",
+    };
+    let order = match opts.order {
+        QueueOrder::Arrival => "arrival",
+        QueueOrder::Priority => "priority",
+    };
+    Ok(LegReport {
+        engine: "queue",
+        record: json!({
+            "decisions": outcome.decisions,
+            "engine": "queue",
+            "makespan": summary.makespan,
+            "max_wait": summary.max_wait,
+            "mean_bounded_slowdown": summary.mean_bounded_slowdown,
+            "mean_response": summary.mean_response,
+            "mean_wait": summary.mean_wait,
+            "order": order,
+            "placement_hash": hash.hex(),
+            "policy": policy,
+            "utilization": summary.utilization,
+        }),
+        decisions: outcome.decisions,
+        wall_seconds: wall,
+        jobs_per_sec: outcome.decisions as f64 / wall.max(f64::MIN_POSITIVE),
+        p50_us: p50,
+        p99_us: p99,
+    })
+}
+
+fn serve_leg(opts: &Opts) -> Result<LegReport, String> {
+    let m = opts.source.procs();
+    let scheduler = resolve_scheduler(&opts.algorithm).map_err(|e| format!("--algorithm: {e}"))?;
+    let pool = Pool::new(opts.workers);
+    let (feed, err) = {
+        let inner = open_source(opts)?;
+        fuse(inner)
+    };
+    let online = feed.map(|j| OnlineJob {
+        task: j.task,
+        release: j.release,
+    });
+    let started = Instant::now();
+    let mut st = LegState::new();
+    let state = RefCell::new(&mut st);
+    let out = stream_batch_schedule(m, online, scheduler, |placements, releases| {
+        let st = &mut **state.borrow_mut();
+        let nanos = st.lap();
+        let emitted = placements.len().max(1) as u64;
+        st.hist.record(nanos / emitted, placements.len() as u64);
+        // The workers knob parallelizes serialization only; the fold
+        // below stays in decision order, so the hash (and stdout) are
+        // identical for every worker count.
+        let blobs = pool.par_map(placements, |_, p| {
+            let mut v = Vec::new();
+            p.write_json(&mut v);
+            v
+        });
+        for ((p, blob), &release) in placements.iter().zip(&blobs).zip(releases) {
+            st.hash.update(blob);
+            if let Err(e) = st
+                .metrics
+                .record(p.task, release, p.start, p.duration, p.procs.len())
+            {
+                st.metrics_err.get_or_insert(e);
+            }
+        }
+    })
+    .map_err(|e| format!("serve replay: {e}"))?;
+    if let Some(e) = err.borrow_mut().take() {
+        return Err(e);
+    }
+    let (summary, hash, wall, p50, p99) = st.finish(m, started, out.decisions)?;
+    Ok(LegReport {
+        engine: "serve",
+        record: json!({
+            "algorithm": opts.algorithm,
+            "batches": out.batches,
+            "decisions": out.decisions,
+            "engine": "serve",
+            "makespan": summary.makespan,
+            "max_wait": summary.max_wait,
+            "mean_bounded_slowdown": summary.mean_bounded_slowdown,
+            "mean_response": summary.mean_response,
+            "mean_wait": summary.mean_wait,
+            "placement_hash": hash.hex(),
+            "utilization": summary.utilization,
+        }),
+        decisions: out.decisions,
+        wall_seconds: wall,
+        jobs_per_sec: out.decisions as f64 / wall.max(f64::MIN_POSITIVE),
+        p50_us: p50,
+        p99_us: p99,
+    })
+}
+
+/// Parses the `key = value` floats of one `[tier]` section out of a
+/// minimal TOML (sections, float values, `#` comments — exactly the
+/// shape of `bench_floors.toml`).
+fn parse_floors(text: &str, tier: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut in_tier = false;
+    let mut seen = false;
+    let mut floors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_tier = name.trim() == tier;
+            seen = seen || in_tier;
+            continue;
+        }
+        if !in_tier {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("floors line {}: expected key = value", i + 1))?;
+        let parsed: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("floors line {}: bad number {:?}", i + 1, v.trim()))?;
+        floors.push((k.trim().to_string(), parsed));
+    }
+    if !seen {
+        return Err(format!("floors tier [{tier}] not found"));
+    }
+    Ok(floors)
+}
+
+/// Checks every `<engine>_jobs_per_sec` floor of the tier against the
+/// measured legs. Returns the list of violations (empty = gate passes).
+fn check_floors(floors: &[(String, f64)], legs: &[LegReport]) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    for (key, floor) in floors {
+        let Some(engine) = key.strip_suffix("_jobs_per_sec") else {
+            return Err(format!(
+                "floors key {key:?}: expected <engine>_jobs_per_sec"
+            ));
+        };
+        let Some(leg) = legs.iter().find(|l| l.engine == engine) else {
+            // A floor for a leg this invocation did not run is not an
+            // error: the smoke tier gates both legs, a --engine serve
+            // run only the serve floor.
+            continue;
+        };
+        if leg.jobs_per_sec < *floor {
+            failures.push(format!(
+                "{engine}: {:.0} jobs/sec under the {floor:.0} floor",
+                leg.jobs_per_sec
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// One machine-readable timing line per leg (the `BENCH_replay.json`
+/// schema; keys sorted so the trend file diffs cleanly).
+fn timing_line(opts: &Opts, source: &str, leg: &LegReport) -> Value {
+    json!({
+        "bench": "replaybench",
+        "engine": leg.engine,
+        "jobs": leg.decisions,
+        "jobs_per_sec": leg.jobs_per_sec,
+        "label": opts.label,
+        "p50_us": leg.p50_us,
+        "p99_us": leg.p99_us,
+        "procs": opts.source.procs(),
+        "source": source,
+        "wall_seconds": leg.wall_seconds,
+        "workers": opts.workers,
+    })
+}
+
+fn run(opts: &Opts) -> Result<(String, i32), String> {
+    let mut legs = Vec::new();
+    if opts.queue_leg {
+        legs.push(queue_leg(opts)?);
+    }
+    if opts.serve_leg {
+        legs.push(serve_leg(opts)?);
+    }
+    let source = opts.source.label();
+    let jobs = legs.iter().map(|l| l.decisions).max().unwrap_or(0);
+    if legs.iter().any(|l| l.decisions != jobs) {
+        return Err(format!(
+            "legs disagree on the job count: {:?}",
+            legs.iter()
+                .map(|l| (l.engine, l.decisions))
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    // Deterministic result document: legs sorted by engine name, keys
+    // alphabetical (the vendored serializer preserves insertion order),
+    // no wall-clock quantity anywhere.
+    legs.sort_by_key(|l| l.engine);
+    let doc = json!({
+        "engines": Value::Array(legs.iter().map(|l| l.record.clone()).collect()),
+        "jobs": jobs,
+        "procs": opts.source.procs(),
+        "source": source,
+    });
+    let doc = serde_json::to_string(&doc).map_err(|e| format!("serialize: {e}"))?;
+
+    // Timing lines: stderr always, the trend file when asked.
+    let mut trend = match &opts.bench_out {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("--bench-out {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    for leg in &legs {
+        let line = serde_json::to_string(&timing_line(opts, &source, leg))
+            .map_err(|e| format!("serialize: {e}"))?;
+        eprintln!("{line}");
+        if let Some(f) = trend.as_mut() {
+            writeln!(f, "{line}").map_err(|e| format!("--bench-out: {e}"))?;
+        }
+    }
+
+    // The perf gate.
+    if let (Some(path), Some(tier)) = (&opts.floors, &opts.tier) {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--floors {path}: {e}"))?;
+        let floors = parse_floors(&text, tier)?;
+        let failures = check_floors(&floors, &legs)?;
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("demt replaybench: FLOOR VIOLATION: {f}");
+            }
+            return Ok((doc, 1));
+        }
+        eprintln!(
+            "demt replaybench: tier [{tier}] floors hold ({} checked)",
+            floors.len()
+        );
+    }
+    Ok((doc, 0))
+}
+
+/// Programmatic entry: parses `args`, runs the harness, and returns the
+/// deterministic stdout document — what the byte-identity tests compare
+/// across `--workers` counts without capturing a process's stdout.
+/// Usage and runtime failures both surface as the error message.
+// demt-lint: allow(P2, drives the baselined engine entry points (BatchLoop::run_batch, Pool::par_map) whose contract assertions are annotated at their sites)
+pub fn replaybench_report(args: &[String]) -> Result<String, String> {
+    let opts = parse_opts(args)?;
+    run(&opts).map(|(doc, _)| doc)
+}
+
+/// Entry point behind `demt replaybench`; returns the process exit code
+/// (0 success, 1 runtime failure or floor violation, 2 usage error).
+// demt-lint: allow(P2, drives the baselined engine entry points (BatchLoop::run_batch, Pool::par_map) whose contract assertions are annotated at their sites)
+pub fn replaybench_cli(args: &[String]) -> i32 {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return 0;
+            }
+            eprintln!("demt replaybench: {msg}\n{USAGE}");
+            return 2;
+        }
+    };
+    match run(&opts) {
+        Ok((doc, code)) => {
+            println!("{doc}");
+            code
+        }
+        Err(e) => {
+            eprintln!("demt replaybench: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_parser_reads_the_checked_in_shape() {
+        let text = "\
+# comment
+[smoke]
+queue_jobs_per_sec = 1000.0  # inline comment
+serve_jobs_per_sec = 500
+
+[full]
+serve_jobs_per_sec = 2e4
+";
+        let smoke = parse_floors(text, "smoke").unwrap();
+        assert_eq!(
+            smoke,
+            vec![
+                ("queue_jobs_per_sec".to_string(), 1000.0),
+                ("serve_jobs_per_sec".to_string(), 500.0),
+            ]
+        );
+        let full = parse_floors(text, "full").unwrap();
+        assert_eq!(full, vec![("serve_jobs_per_sec".to_string(), 2e4)]);
+        assert!(parse_floors(text, "nightly").is_err(), "unknown tier");
+        assert!(parse_floors("[t]\nbad line\n", "t").is_err());
+    }
+
+    #[test]
+    fn floor_gate_flags_only_measured_legs_below_floor() {
+        let leg = |engine: &'static str, jps: f64| LegReport {
+            engine,
+            record: json!(null),
+            decisions: 10,
+            wall_seconds: 1.0,
+            jobs_per_sec: jps,
+            p50_us: 0.0,
+            p99_us: 0.0,
+        };
+        let legs = vec![leg("queue", 100.0), leg("serve", 5000.0)];
+        let floors = vec![
+            ("queue_jobs_per_sec".to_string(), 200.0),
+            ("serve_jobs_per_sec".to_string(), 200.0),
+            ("absent_jobs_per_sec".to_string(), 1e9),
+        ];
+        let failures = check_floors(&floors, &legs).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("queue"));
+        let bad = vec![("queue_throughput".to_string(), 1.0)];
+        assert!(check_floors(&bad, &legs).is_err(), "malformed key");
+    }
+
+    #[test]
+    fn fused_source_parks_the_first_error() {
+        let rows = vec![Err("boom".to_string()), Err("later".to_string())];
+        let (mut feed, slot) = fuse(rows.into_iter());
+        assert!(feed.next().is_none());
+        assert_eq!(slot.borrow().as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn spec_errors_are_usage_errors() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(replaybench_cli(&args(&["--gen-trace", "nope"])), 2);
+        assert_eq!(replaybench_cli(&args(&[])), 2);
+        assert_eq!(
+            replaybench_cli(&args(&["--swf", "x.swf"])),
+            2,
+            "--swf needs --procs"
+        );
+        assert_eq!(
+            replaybench_cli(&args(&["--gen-trace", "n=4,m=4", "--floors", "f.toml"])),
+            2,
+            "--floors needs --tier"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration contract of `demt replaybench`: the stdout document is
+//! byte-identical for any `--workers` count, and the SWF path flows
+//! through the same engines as the generated path.
+
+use demt_bench::replay::replaybench_report;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn stdout_document_is_byte_identical_across_worker_counts() {
+    let base = ["--gen-trace", "n=400,m=32,seed=7"];
+    let one = replaybench_report(&args(&[&base[..], &["--workers", "1"]].concat()))
+        .expect("workers=1 run succeeds");
+    let four = replaybench_report(&args(&[&base[..], &["--workers", "4"]].concat()))
+        .expect("workers=4 run succeeds");
+    assert_eq!(one, four, "stdout bytes depend on the worker count");
+    // The document never leaks the knob that must not influence it.
+    assert!(!one.contains("workers"), "stdout mentions the worker count");
+    // Both legs ran and agree on the job count.
+    assert!(one.contains("\"engine\":\"queue\""));
+    assert!(one.contains("\"engine\":\"serve\""));
+    assert!(one.contains("\"jobs\":400"));
+}
+
+#[test]
+fn repeat_runs_are_deterministic() {
+    let a = replaybench_report(&args(&["--gen-trace", "n=250,m=16,seed=3,kind=mixed"]))
+        .expect("first run succeeds");
+    let b = replaybench_report(&args(&["--gen-trace", "n=250,m=16,seed=3,kind=mixed"]))
+        .expect("second run succeeds");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn swf_smoke_flows_through_the_same_pipeline() {
+    let swf = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/data/sample.swf");
+    let doc = replaybench_report(&args(&["--swf", swf, "--procs", "64"]))
+        .expect("sample SWF replays cleanly");
+    let parsed: serde_json::Value =
+        serde_json::from_str(&doc).expect("stdout is one JSON document");
+    let jobs = parsed
+        .get("jobs")
+        .and_then(|v| v.as_u64())
+        .expect("jobs field");
+    assert!(jobs > 0, "sample SWF yields jobs");
+    let engines = parsed
+        .get("engines")
+        .and_then(|v| v.as_array())
+        .expect("engines array");
+    assert_eq!(engines.len(), 2, "both legs run by default");
+    for leg in engines {
+        let hash = leg
+            .get("placement_hash")
+            .and_then(|v| v.as_str())
+            .expect("placement_hash field");
+        assert_eq!(hash.len(), 16, "FNV-1a 64 hex");
+        let util = leg
+            .get("utilization")
+            .and_then(|v| v.as_f64())
+            .expect("utilization field");
+        assert!(util > 0.0 && util <= 1.0 + 1e-9, "utilization {util}");
+    }
+    // The SWF run is as deterministic as the generated one.
+    let again = replaybench_report(&args(&["--swf", swf, "--procs", "64", "--workers", "3"]))
+        .expect("SWF replays with a pool");
+    assert_eq!(doc, again);
+}
+
+#[test]
+fn single_engine_runs_and_floor_gate_exit_paths() {
+    let queue_only = replaybench_report(&args(&[
+        "--gen-trace",
+        "n=60,m=8,seed=1",
+        "--engine",
+        "queue",
+    ]))
+    .expect("queue-only run succeeds");
+    assert!(queue_only.contains("\"engine\":\"queue\""));
+    assert!(!queue_only.contains("\"engine\":\"serve\""));
+
+    let serve_only = replaybench_report(&args(&[
+        "--gen-trace",
+        "n=60,m=8,seed=1",
+        "--engine",
+        "serve",
+        "--algorithm",
+        "demt",
+    ]))
+    .expect("serve-only run with a registry scheduler succeeds");
+    assert!(serve_only.contains("\"algorithm\":\"demt\""));
+
+    let bad = replaybench_report(&args(&["--gen-trace", "n=60,m=8,seed=1", "--unknown"]));
+    assert!(bad.is_err(), "unknown flags are usage errors");
+}

@@ -49,7 +49,7 @@ pub fn queue_schedule(m: usize, jobs: &[SubmittedJob], policy: QueuePolicy) -> S
 
 /// Maps an `f64` onto a `u64` whose natural order equals
 /// [`f64::total_cmp`], so float priorities can key a [`BTreeSet`].
-fn order_bits(x: f64) -> u64 {
+pub(crate) fn order_bits(x: f64) -> u64 {
     let b = x.to_bits();
     if b >> 63 == 1 {
         !b

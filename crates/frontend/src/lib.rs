@@ -34,13 +34,18 @@
 
 mod easy;
 mod metrics;
+mod replay;
 mod stream;
 mod swf;
 
 #[doc(hidden)]
 pub use easy::queue_schedule_scan;
 pub use easy::{queue_schedule, queue_schedule_ordered, QueueOrder, QueuePolicy};
-pub use metrics::{job_metrics, stream_metrics, JobMetrics, StreamMetrics, SLOWDOWN_TAU};
+pub use metrics::{
+    job_metrics, stream_metrics, try_job_metrics, try_stream_metrics, JobMetrics, MetricsError,
+    ReplayMetrics, ReplaySummary, StreamMetrics, SLOWDOWN_TAU,
+};
+pub use replay::{replay_queue, ReplayError, ReplayOutcome};
 pub use stream::{rigid_request, submit_stream, ArrivalModel, StreamSpec, SubmittedJob};
 pub use swf::{
     lift_swf_record, parse_swf, stream_from_swf, write_swf, SwfError, SwfJobStream, SwfReader,

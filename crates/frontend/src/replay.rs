@@ -1,0 +1,423 @@
+//! Streaming FCFS / EASY-backfilling replay over a job feed.
+//!
+//! [`replay_queue`] is the iterator-fed twin of
+//! [`queue_schedule_ordered`](crate::queue_schedule_ordered): the same
+//! event-incremental engine — arrival cursor, [`BTreeSet`] queue,
+//! completion-ordered running set, [`FreeSet`] identities, head
+//! reservation answered by a [`Skyline`] — but it never holds the
+//! stream or the schedule. Jobs are pulled from the feed as virtual
+//! time reaches their release, each placement is handed to a callback
+//! at decision time and dropped, and live state is bounded by the jobs
+//! currently queued or running. That is what lets `demt replaybench`
+//! push archive-scale traces (10⁶+ jobs) through the queue disciplines
+//! in constant memory.
+//!
+//! Determinism contract: on any release-sorted feed the emitted
+//! placements are **byte-identical** (as serialized JSON) to
+//! `queue_schedule_ordered` on the collected stream — the differential
+//! proptest in `tests/prop_replay.rs` pins the two engines together.
+
+use crate::easy::order_bits;
+use crate::stream::SubmittedJob;
+use crate::{QueueOrder, QueuePolicy};
+use demt_model::{ProcSet, TaskId};
+use demt_platform::{FreeSet, Placement, Skyline};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::iter::Peekable;
+
+/// Rejected replay feed or a wedged simulation, reported by
+/// [`replay_queue`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayError {
+    /// The feed went backwards in time: streaming admission needs
+    /// non-decreasing release dates.
+    OutOfOrder {
+        /// Position in the feed.
+        index: usize,
+        /// The offending release date.
+        release: f64,
+        /// The release date that preceded it.
+        prev: f64,
+    },
+    /// A job's rigid request does not fit the machine (`0` or more than
+    /// `m` processors) — it could never start, so the feed is rejected
+    /// rather than wedging the queue.
+    BadRequest {
+        /// Offending job.
+        task: TaskId,
+        /// Requested processors.
+        procs: usize,
+        /// Machine size.
+        m: usize,
+    },
+    /// No event can advance the simulation although jobs still wait —
+    /// an engine invariant violation surfaced as an error instead of a
+    /// hang.
+    Stalled {
+        /// Jobs still waiting.
+        waiting: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ReplayError::OutOfOrder {
+                index,
+                release,
+                prev,
+            } => write!(
+                f,
+                "replay feed out of order at position {index}: release {release} after {prev}"
+            ),
+            ReplayError::BadRequest { task, procs, m } => {
+                write!(f, "{task} requests {procs} of {m} processors")
+            }
+            ReplayError::Stalled { waiting } => {
+                write!(f, "replay stalled with {waiting} jobs waiting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Summary counters of a streamed replay, returned by [`replay_queue`]
+/// (the placements themselves went to the callback, one at a time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOutcome {
+    /// Placements emitted (one per job).
+    pub decisions: usize,
+    /// Latest completion instant (`0` for an empty feed).
+    pub makespan: f64,
+}
+
+/// Jobs admitted into the simulation but not yet started, keyed by feed
+/// position.
+type LiveJobs = BTreeMap<usize, SubmittedJob>;
+/// The waiting queue: `(priority key, feed position)`.
+type WaitQueue = BTreeSet<(Reverse<u64>, usize)>;
+
+/// Feed-order cursor: the next feed position and the release of the
+/// last admitted job (for the sortedness check).
+struct FeedCursor {
+    index: usize,
+    prev_release: f64,
+}
+
+/// Pulls every feed job released by `now` into the waiting queue,
+/// validating order and request size on the way in.
+fn admit_released<I: Iterator<Item = SubmittedJob>>(
+    now: f64,
+    m: usize,
+    order: QueueOrder,
+    feed: &mut Peekable<I>,
+    cursor: &mut FeedCursor,
+    live: &mut LiveJobs,
+    pending: &mut WaitQueue,
+) -> Result<(), ReplayError> {
+    while let Some(peeked) = feed.peek() {
+        if peeked.release > now + 1e-12 {
+            break;
+        }
+        let Some(j) = feed.next() else { break };
+        if cursor.index > 0 && j.release < cursor.prev_release {
+            return Err(ReplayError::OutOfOrder {
+                index: cursor.index,
+                release: j.release,
+                prev: cursor.prev_release,
+            });
+        }
+        cursor.prev_release = j.release;
+        if j.rigid_procs < 1 || j.rigid_procs > m {
+            return Err(ReplayError::BadRequest {
+                task: j.task.id(),
+                procs: j.rigid_procs,
+                m,
+            });
+        }
+        let key = match order {
+            QueueOrder::Arrival => Reverse(0u64),
+            QueueOrder::Priority => Reverse(order_bits(j.task.weight())),
+        };
+        pending.insert((key, cursor.index));
+        live.insert(cursor.index, j);
+        cursor.index += 1;
+    }
+    Ok(())
+}
+
+/// Simulates the front-end queue disciplines over a release-sorted job
+/// feed on `m` processors, invoking `on_start` once per job **at
+/// decision time** with the job and its placement (explicit processor
+/// identities included), then dropping both. Memory is bounded by the
+/// jobs simultaneously queued or running, never by the feed length.
+///
+/// The feed must be sorted by release date
+/// ([`ReplayError::OutOfOrder`]) and every request must fit the machine
+/// ([`ReplayError::BadRequest`]); placements are emitted in the same
+/// order, bit for bit, as
+/// [`queue_schedule_ordered`](crate::queue_schedule_ordered) on the
+/// collected stream.
+pub fn replay_queue<I, F>(
+    m: usize,
+    jobs: I,
+    policy: QueuePolicy,
+    order: QueueOrder,
+    mut on_start: F,
+) -> Result<ReplayOutcome, ReplayError>
+where
+    I: IntoIterator<Item = SubmittedJob>,
+    F: FnMut(&SubmittedJob, &Placement),
+{
+    let mut feed = jobs.into_iter().peekable();
+    let mut cursor = FeedCursor {
+        index: 0,
+        prev_release: 0.0,
+    };
+    let mut live: LiveJobs = BTreeMap::new();
+    let mut pending: WaitQueue = BTreeSet::new();
+    // Running jobs: completion-ordered (bit pattern orders like the
+    // value for finite non-negative completions) plus their committed
+    // windows `(start, end, identities, width)`.
+    let mut running: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut windows: BTreeMap<usize, (f64, f64, ProcSet, usize)> = BTreeMap::new();
+    let mut free = FreeSet::full(m);
+    let mut sky = Skyline::new(m);
+    let mut now = 0.0_f64;
+    let mut outcome = ReplayOutcome {
+        decisions: 0,
+        makespan: 0.0,
+    };
+
+    // One job leaves `live` and starts right now.
+    let mut start_job = |idx: usize,
+                         now: f64,
+                         live: &mut LiveJobs,
+                         running: &mut BTreeSet<(u64, usize)>,
+                         windows: &mut BTreeMap<usize, (f64, f64, ProcSet, usize)>,
+                         free: &mut FreeSet,
+                         sky: &mut Skyline| {
+        // demt-lint: allow(P1, every queued index was inserted into `live` at admission)
+        let j = live.remove(&idx).expect("queued job is live");
+        let d = j.rigid_time();
+        let end = now + d;
+        let procs = free.take_lowest(j.rigid_procs);
+        sky.commit_until(now, end, j.rigid_procs);
+        running.insert((end.to_bits(), idx));
+        windows.insert(idx, (now, end, procs.clone(), j.rigid_procs));
+        let placement = Placement {
+            task: j.task.id(),
+            start: now,
+            duration: d,
+            procs,
+        };
+        outcome.decisions += 1;
+        if end > outcome.makespan {
+            outcome.makespan = end;
+        }
+        on_start(&j, &placement);
+    };
+
+    admit_released(
+        now,
+        m,
+        order,
+        &mut feed,
+        &mut cursor,
+        &mut live,
+        &mut pending,
+    )?;
+
+    while !pending.is_empty() || feed.peek().is_some() {
+        let mut progress = false;
+        if let Some(&(_, head)) = pending.first() {
+            let head_job = live
+                .get(&head)
+                // demt-lint: allow(P1, every queued index was inserted into `live` at admission)
+                .expect("queue head is live");
+            let k_head = head_job.rigid_procs;
+            // 1. Start the head if it fits right now.
+            if k_head <= free.len() {
+                pending.pop_first();
+                start_job(
+                    head,
+                    now,
+                    &mut live,
+                    &mut running,
+                    &mut windows,
+                    &mut free,
+                    &mut sky,
+                );
+                progress = true;
+            } else if policy == QueuePolicy::EasyBackfill {
+                // 2. Head reservation: only completions lie ahead of
+                // `now` in the skyline, so the earliest window start is
+                // the earliest instant `k_head` processors are free.
+                let t_r = sky.earliest_fit(now, head_job.rigid_time(), k_head);
+                let slack = sky.free_at(t_r + 1e-12) - k_head;
+                // 3. Backfill candidates, in queue order behind the head.
+                let mut chosen = None;
+                for &(key, cand) in pending.iter().skip(1) {
+                    let cand_job = live
+                        .get(&cand)
+                        // demt-lint: allow(P1, every queued index was inserted into `live` at admission)
+                        .expect("queued job is live");
+                    let d = cand_job.rigid_time();
+                    let k = cand_job.rigid_procs;
+                    if k > free.len() {
+                        continue;
+                    }
+                    let finishes_before = now + d <= t_r + 1e-12;
+                    let fits_in_slack = k <= slack;
+                    if finishes_before || fits_in_slack {
+                        chosen = Some((key, cand));
+                        break;
+                    }
+                }
+                if let Some((key, cand)) = chosen {
+                    pending.remove(&(key, cand));
+                    start_job(
+                        cand,
+                        now,
+                        &mut live,
+                        &mut running,
+                        &mut windows,
+                        &mut free,
+                        &mut sky,
+                    );
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            continue;
+        }
+        // Advance time to the next event: completion or arrival.
+        let next_completion = running
+            .first()
+            .map(|&(c, _)| f64::from_bits(c))
+            .unwrap_or(f64::INFINITY);
+        let next_arrival = feed.peek().map_or(f64::INFINITY, |j| j.release);
+        let next = next_completion.min(next_arrival);
+        if !next.is_finite() {
+            return Err(ReplayError::Stalled {
+                waiting: pending.len(),
+            });
+        }
+        now = next;
+        // Release completed jobs: identities back to the pool, windows
+        // out of the skyline (keeping its segment count bounded).
+        while let Some(&(c, idx)) = running.first() {
+            if f64::from_bits(c) > now + 1e-12 {
+                break;
+            }
+            running.pop_first();
+            if let Some((s, e, procs, k)) = windows.remove(&idx) {
+                sky.release_until(s, e, k);
+                free.release(&procs);
+            }
+        }
+        admit_released(
+            now,
+            m,
+            order,
+            &mut feed,
+            &mut cursor,
+            &mut live,
+            &mut pending,
+        )?;
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue_schedule_ordered;
+    use demt_model::{MoldableTask, TaskId};
+    use demt_platform::Schedule;
+
+    fn job(id: usize, release: f64, procs: usize, time: f64, m: usize) -> SubmittedJob {
+        SubmittedJob {
+            task: MoldableTask::rigid(TaskId(id), 1.0, procs, time, m).unwrap(),
+            release,
+            rigid_procs: procs,
+        }
+    }
+
+    #[test]
+    fn streamed_replay_matches_the_materialized_engine() {
+        let m = 4;
+        let jobs: Vec<SubmittedJob> = (0..30)
+            .map(|i| {
+                job(
+                    i,
+                    i as f64 * 0.25,
+                    1 + (i * 3) % 4,
+                    0.3 + (i % 6) as f64 * 0.45,
+                    m,
+                )
+            })
+            .collect();
+        for policy in [QueuePolicy::Fcfs, QueuePolicy::EasyBackfill] {
+            for order in [QueueOrder::Arrival, QueueOrder::Priority] {
+                let reference = queue_schedule_ordered(m, &jobs, policy, order);
+                let mut streamed = Schedule::new(m);
+                let out = replay_queue(m, jobs.iter().cloned(), policy, order, |j, p| {
+                    assert_eq!(j.task.id(), p.task);
+                    streamed.push(p.clone());
+                })
+                .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&streamed).unwrap(),
+                    serde_json::to_string(&reference).unwrap(),
+                    "{policy:?}/{order:?} diverge"
+                );
+                assert_eq!(out.decisions, jobs.len());
+                assert!((out.makespan - reference.makespan()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_feed_is_a_typed_error() {
+        let m = 2;
+        let jobs = vec![job(0, 5.0, 1, 1.0, m), job(1, 1.0, 1, 1.0, m)];
+        assert!(matches!(
+            replay_queue(m, jobs, QueuePolicy::Fcfs, QueueOrder::Arrival, |_, _| {}),
+            Err(ReplayError::OutOfOrder { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_request_is_a_typed_error() {
+        let m = 2;
+        // Build on a 4-proc machine so the request (3) is representable,
+        // then replay on m = 2 where it can never fit.
+        let jobs = vec![job(0, 0.0, 3, 1.0, 4)];
+        assert!(matches!(
+            replay_queue(m, jobs, QueuePolicy::Fcfs, QueueOrder::Arrival, |_, _| {}),
+            Err(ReplayError::BadRequest {
+                task: TaskId(0),
+                procs: 3,
+                m: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_feed_yields_an_empty_outcome() {
+        let out = replay_queue(
+            4,
+            std::iter::empty(),
+            QueuePolicy::EasyBackfill,
+            QueueOrder::Arrival,
+            |_, _| panic!("no placements expected"),
+        )
+        .unwrap();
+        assert_eq!(out.decisions, 0);
+        assert_eq!(out.makespan, 0.0);
+    }
+}

@@ -119,6 +119,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "demt-model",
             "demt-online",
             "demt-platform",
+            "demt-workload",
         ],
     ),
     (
@@ -129,13 +130,27 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     // tooling (standalone: no scheduling-crate deps, nothing depends
     // on it except the facade)
     ("demt-lint", &[]),
-    // top: benches are dev-dep-only; the facade re-exports everything
-    ("demt-bench", &[]),
+    // top: benches (micro-benches are dev-dep-only; the replaybench
+    // harness drives both production engines); the facade re-exports
+    // everything
+    (
+        "demt-bench",
+        &[
+            "demt-exec",
+            "demt-frontend",
+            "demt-model",
+            "demt-online",
+            "demt-platform",
+            "demt-serve",
+            "demt-workload",
+        ],
+    ),
     (
         "demt",
         &[
             "demt-api",
             "demt-baselines",
+            "demt-bench",
             "demt-bounds",
             "demt-core",
             "demt-distr",

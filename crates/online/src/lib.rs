@@ -97,6 +97,16 @@ pub enum OnlineError {
     /// The validated feed still failed instance assembly — a task the
     /// per-job checks cannot see is malformed (bad weight or times).
     InvalidInstance(ModelError),
+    /// A streamed feed went backwards in time: release dates must be
+    /// non-decreasing for event-order admission to be well-defined.
+    OutOfOrder {
+        /// Position in the feed.
+        index: usize,
+        /// The offending release date.
+        release: f64,
+        /// The release date that preceded it.
+        prev: f64,
+    },
 }
 
 impl std::fmt::Display for OnlineError {
@@ -123,6 +133,16 @@ impl std::fmt::Display for OnlineError {
             }
             OnlineError::InvalidInstance(ref e) => {
                 write!(f, "feed failed instance assembly: {e}")
+            }
+            OnlineError::OutOfOrder {
+                index,
+                release,
+                prev,
+            } => {
+                write!(
+                    f,
+                    "streamed feed out of order at position {index}: release {release} after {prev}"
+                )
             }
         }
     }
@@ -506,6 +526,19 @@ impl BatchLoop {
         Ok(emitted)
     }
 
+    /// Drains everything scheduled since the last drain, leaving the
+    /// loop live — the constant-memory streaming variant of
+    /// [`BatchLoop::finish`]: a replay driver that drains after every
+    /// batch holds only one batch of placements at a time instead of
+    /// the whole run. [`BatchLoop::decisions`] restarts from zero after
+    /// a drain (it counts the *undrained* schedule).
+    pub fn take_emitted(&mut self) -> OnlineResult {
+        OnlineResult {
+            schedule: std::mem::replace(&mut self.schedule, Schedule::new(self.m)),
+            batches: std::mem::take(&mut self.batches),
+        }
+    }
+
     /// Consumes the loop, returning everything scheduled so far.
     pub fn finish(self) -> OnlineResult {
         OnlineResult {
@@ -513,6 +546,105 @@ impl BatchLoop {
             batches: self.batches,
         }
     }
+}
+
+/// Summary counters of a streamed run, returned by
+/// [`stream_batch_schedule`] (the placements themselves went to the
+/// sink, batch by batch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOutcome {
+    /// Placements emitted across all batches.
+    pub decisions: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Latest completion instant over every placement (`0` for an
+    /// empty feed).
+    pub horizon: f64,
+}
+
+/// Streams a release-sorted job feed through a [`BatchLoop`] in
+/// constant memory: jobs are admitted with the event-order rule the
+/// `demt serve` daemon uses (submit while the release is not after
+/// [`BatchLoop::next_batch_start`]), each batch is planned and then
+/// **drained** via [`BatchLoop::take_emitted`], and the sink receives
+/// that batch's placements (decision order) alongside the matching
+/// original release dates — so metrics, hashing, or serialization can
+/// run without the schedule ever being materialized whole.
+///
+/// The feed must be sorted by release date ([`OnlineError::OutOfOrder`]
+/// otherwise) with dense ids `0..n` in feed order; placements are
+/// byte-identical to [`try_online_batch_schedule`] on the collected
+/// feed, which is what makes replay results workers- and
+/// buffering-independent.
+// demt-lint: allow(P2, streams through BatchLoop::run_batch whose scheduler-contract assertion is baselined; the streaming entry adds no new panic site)
+pub fn stream_batch_schedule<I, F>(
+    m: usize,
+    jobs: I,
+    scheduler: &dyn Scheduler,
+    mut sink: F,
+) -> Result<StreamOutcome, OnlineError>
+where
+    I: IntoIterator<Item = OnlineJob>,
+    F: FnMut(&[Placement], &[f64]),
+{
+    let mut bl = BatchLoop::new(m);
+    let mut feed = jobs.into_iter().peekable();
+    // Original id → release date for the jobs in flight; bounded by the
+    // pending set, entries leave as soon as the job is placed.
+    let mut releases: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut prev_release = 0.0_f64;
+    let mut index = 0_usize;
+    let mut outcome = StreamOutcome {
+        decisions: 0,
+        batches: 0,
+        horizon: 0.0,
+    };
+    let mut batch_releases: Vec<f64> = Vec::new();
+    loop {
+        while let Some(peeked) = feed.peek() {
+            let admit = match bl.next_batch_start() {
+                Some(t) => peeked.release <= t + 1e-12,
+                None => true,
+            };
+            if !admit {
+                break;
+            }
+            let Some(j) = feed.next() else { break };
+            if index > 0 && j.release < prev_release {
+                return Err(OnlineError::OutOfOrder {
+                    index,
+                    release: j.release,
+                    prev: prev_release,
+                });
+            }
+            prev_release = j.release;
+            index += 1;
+            let id = j.task.id().index();
+            bl.submit(j.task, j.release)?;
+            releases.insert(id, j.release);
+        }
+        if bl.pending() == 0 {
+            // With nothing pending the admission rule accepts any next
+            // event, so the feed is necessarily exhausted here.
+            break;
+        }
+        bl.run_batch(scheduler)?;
+        let batch = bl.take_emitted();
+        batch_releases.clear();
+        for p in batch.schedule.placements() {
+            let r = releases.remove(&p.task.index());
+            debug_assert!(r.is_some(), "placement for a job never submitted");
+            batch_releases.push(r.unwrap_or(0.0));
+            let end = p.start + p.duration;
+            if end > outcome.horizon {
+                outcome.horizon = end;
+            }
+        }
+        outcome.decisions += batch.schedule.len();
+        outcome.batches += batch.batches.len();
+        sink(batch.schedule.placements(), &batch_releases);
+    }
+    Ok(outcome)
 }
 
 /// Release-date vector of a job list, for
@@ -786,6 +918,84 @@ mod tests {
         let out = bl.finish();
         assert_eq!(out.schedule.len(), 2);
         assert!(out.schedule.placement_of(TaskId(1)).is_none());
+    }
+
+    #[test]
+    fn stream_batch_schedule_matches_wrapper_bytes() {
+        let mut jobs = online_jobs(WorkloadKind::Cirne, 40, 8, 9, 30.0);
+        jobs.sort_by(|a, b| a.release.total_cmp(&b.release));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.task.set_id(TaskId(i));
+        }
+        let batch = try_online_batch_schedule(8, &jobs, &demt()).unwrap();
+
+        let mut streamed = Schedule::new(8);
+        let mut streamed_releases = Vec::new();
+        let out = stream_batch_schedule(8, jobs.iter().cloned(), &demt(), |placements, rel| {
+            assert_eq!(placements.len(), rel.len());
+            for p in placements {
+                streamed.push(p.clone());
+            }
+            streamed_releases.extend_from_slice(rel);
+        })
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&batch.schedule).unwrap(),
+            "streamed placements must be byte-identical to the wrapper"
+        );
+        // The sink's releases are the original ones, aligned to
+        // decision order.
+        for (p, &r) in streamed.placements().iter().zip(&streamed_releases) {
+            assert_eq!(jobs[p.task.index()].release, r);
+        }
+        assert_eq!(out.decisions, jobs.len());
+        assert_eq!(out.batches, batch.batches.len());
+        assert!((out.horizon - batch.schedule.makespan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_batch_schedule_rejects_unsorted_feeds() {
+        let t = |id: usize| MoldableTask::sequential(TaskId(id), 1.0, 1.0, 2).unwrap();
+        let jobs = vec![
+            OnlineJob {
+                task: t(0),
+                release: 5.0,
+            },
+            OnlineJob {
+                task: t(1),
+                release: 1.0,
+            },
+        ];
+        assert!(matches!(
+            stream_batch_schedule(2, jobs, &demt(), |_, _| {}),
+            Err(OnlineError::OutOfOrder {
+                index: 1,
+                release: r,
+                prev: p,
+            }) if r == 1.0 && p == 5.0
+        ));
+    }
+
+    #[test]
+    fn take_emitted_drains_incrementally() {
+        let mut bl = BatchLoop::new(2);
+        let t = |id: usize, d: f64| MoldableTask::sequential(TaskId(id), 1.0, d, 2).unwrap();
+        bl.submit(t(0, 2.0), 0.0).unwrap();
+        bl.run_batch(&demt()).unwrap();
+        let first = bl.take_emitted();
+        assert_eq!(first.schedule.len(), 1);
+        assert_eq!(first.batches.len(), 1);
+        assert_eq!(bl.decisions(), 0, "drain restarts the counter");
+        bl.submit(t(1, 1.0), 3.0).unwrap();
+        bl.run_batch(&demt()).unwrap();
+        let second = bl.take_emitted();
+        assert_eq!(second.schedule.len(), 1);
+        assert_eq!(second.schedule.placements()[0].task, TaskId(1));
+        // Nothing left after the drains.
+        let rest = bl.finish();
+        assert_eq!(rest.schedule.len(), 0);
+        assert!(rest.batches.is_empty());
     }
 
     #[test]

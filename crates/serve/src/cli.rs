@@ -7,6 +7,7 @@ use crate::daemon::{run_events, ServeConfig, ServeSummary};
 use crate::event::{grid_events, EventReader, JobEvent, ServeError};
 use crate::stats::ServeStats;
 use demt_frontend::SwfJobStream;
+use demt_workload::{TraceGen, TraceSpec};
 use std::io::{BufRead, BufReader, Write};
 
 const USAGE: &str = "\
@@ -15,6 +16,8 @@ usage: demt serve --procs M [options]            schedule JSONL events from stdi
        demt serve --procs M --socket PATH        accept event streams on a Unix socket
        demt serve --gen-grid [--tasks N] [--procs M] [--seed S]
                                                  print a benchmark event trace
+       demt serve --gen-trace SPEC               print a synthetic workload trace
+                                                 (SPEC like n=2e4,m=1e3,seed=7)
 
 options:
   --algorithm NAME   greedy (default) or a registry name (demt, gang, ...)
@@ -43,6 +46,7 @@ struct ServeOpts {
     stats: Option<String>,
     replay: Option<String>,
     socket: Option<String>,
+    gen_trace: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<ServeOpts, String> {
@@ -59,6 +63,7 @@ fn parse_opts(args: &[String]) -> Result<ServeOpts, String> {
         stats: None,
         replay: None,
         socket: None,
+        gen_trace: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -75,6 +80,7 @@ fn parse_opts(args: &[String]) -> Result<ServeOpts, String> {
             "--stats" => o.stats = Some(value(&mut it, "stats")?.clone()),
             "--replay" => o.replay = Some(value(&mut it, "replay")?.clone()),
             "--socket" => o.socket = Some(value(&mut it, "socket")?.clone()),
+            "--gen-trace" => o.gen_trace = Some(value(&mut it, "gen-trace")?.clone()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -120,6 +126,9 @@ pub fn serve_cli(args: &[String]) -> i32 {
         let procs = if opts.procs == 0 { 64 } else { opts.procs };
         return emit_grid(opts.tasks, procs, opts.seed);
     }
+    if let Some(spec) = &opts.gen_trace {
+        return emit_trace(spec);
+    }
     if opts.procs == 0 {
         eprintln!("demt serve: --procs is required\n{USAGE}");
         return 2;
@@ -137,6 +146,41 @@ fn emit_grid(tasks: usize, procs: usize, seed: u64) -> i32 {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     for ev in grid_events(tasks, procs, seed) {
+        let line = match serde_json::to_string(&ev) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("demt serve: serializing trace: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = writeln!(out, "{line}") {
+            eprintln!("demt serve: stdout: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+/// Prints the synthetic trace of a [`TraceSpec`] one-liner as JSONL
+/// submit events — the streaming twin of `--gen-grid`, sharing the
+/// exact job stream `demt replaybench --gen-trace` schedules.
+fn emit_trace(spec: &str) -> i32 {
+    let spec: TraceSpec = match spec.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("demt serve: --gen-trace: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for tj in TraceGen::new(&spec) {
+        let ev = JobEvent::submit_moldable(
+            tj.task.id().index(),
+            tj.release,
+            tj.task.weight(),
+            tj.task.times().to_vec(),
+        );
         let line = match serde_json::to_string(&ev) {
             Ok(l) => l,
             Err(e) => {

@@ -155,25 +155,49 @@ fn draw_seq_floor<R: Rng + ?Sized>(law: &impl Variate, rng: &mut R) -> f64 {
     }
 }
 
-fn generate_with<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Instance {
-    let m = spec.procs;
-    let weight_law = Uniform::new(1.0, 10.0);
-    let seq_uniform = Uniform::new(1.0, 10.0);
-    let weakly = TruncatedNormal::weakly_parallel_x();
-    let highly = TruncatedNormal::highly_parallel_x();
-    let draw: DegreeDraw = spec.degree_draw.into();
+/// The distribution laws shared by every task of a family, hoisted out
+/// of the per-task loop. Both the materializing generator
+/// ([`WorkloadSpec::generate`]) and the streaming one
+/// ([`crate::TraceGen`]) sample through this struct, so the two consume
+/// the RNG in exactly the same order — which is what makes the streamed
+/// tasks bit-identical to the materialized instance for the same seed.
+#[derive(Debug)]
+pub(crate) struct FamilyLaws {
+    weight: Uniform,
+    seq_uniform: Uniform,
+    weakly: TruncatedNormal,
+    highly: TruncatedNormal,
+}
 
-    let mut b = InstanceBuilder::new(m);
-    for _ in 0..spec.tasks {
-        let weight = weight_law.sample(rng);
-        let times = match spec.kind {
+impl FamilyLaws {
+    pub(crate) fn new() -> Self {
+        Self {
+            weight: Uniform::new(1.0, 10.0),
+            seq_uniform: Uniform::new(1.0, 10.0),
+            weakly: TruncatedNormal::weakly_parallel_x(),
+            highly: TruncatedNormal::highly_parallel_x(),
+        }
+    }
+
+    /// Draws one task's `(weight, times)` pair — the exact per-task body
+    /// of the paper's generator, RNG order included: weight first, then
+    /// the family-specific shape draws.
+    pub(crate) fn draw_task<R: Rng + ?Sized>(
+        &self,
+        kind: WorkloadKind,
+        m: usize,
+        draw: DegreeDraw,
+        rng: &mut R,
+    ) -> (f64, Vec<f64>) {
+        let weight = self.weight.sample(rng);
+        let times = match kind {
             WorkloadKind::WeaklyParallel => {
-                let seq = seq_uniform.sample(rng);
-                recursive_times(seq, m, &weakly, draw, rng)
+                let seq = self.seq_uniform.sample(rng);
+                recursive_times(seq, m, &self.weakly, draw, rng)
             }
             WorkloadKind::HighlyParallel => {
-                let seq = seq_uniform.sample(rng);
-                recursive_times(seq, m, &highly, draw, rng)
+                let seq = self.seq_uniform.sample(rng);
+                recursive_times(seq, m, &self.highly, draw, rng)
             }
             WorkloadKind::Mixed => {
                 // 70% small tasks N(1, 0.5) → weakly parallel;
@@ -182,20 +206,32 @@ fn generate_with<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Instance 
                 if small {
                     let law = demt_distr::Normal::new(1.0, 0.5);
                     let seq = draw_seq_floor(&law, rng);
-                    recursive_times(seq, m, &weakly, draw, rng)
+                    recursive_times(seq, m, &self.weakly, draw, rng)
                 } else {
                     let law = demt_distr::Normal::new(10.0, 5.0);
                     let seq = draw_seq_floor(&law, rng);
-                    recursive_times(seq, m, &highly, draw, rng)
+                    recursive_times(seq, m, &self.highly, draw, rng)
                 }
             }
             WorkloadKind::Cirne => {
-                let seq = seq_uniform.sample(rng);
+                let seq = self.seq_uniform.sample(rng);
                 let a = LogUniform::new(1.0, m as f64).sample(rng).max(1.0);
                 let sigma = rng.random_range(0.0..2.0);
                 downey_times(seq, m, a, sigma)
             }
         };
+        (weight, times)
+    }
+}
+
+fn generate_with<R: Rng + ?Sized>(spec: &WorkloadSpec, rng: &mut R) -> Instance {
+    let m = spec.procs;
+    let laws = FamilyLaws::new();
+    let draw: DegreeDraw = spec.degree_draw.into();
+
+    let mut b = InstanceBuilder::new(m);
+    for _ in 0..spec.tasks {
+        let (weight, times) = laws.draw_task(spec.kind, m, draw, rng);
         b.push_times(weight, times)
             // demt-lint: allow(P1, every generator arm yields positive monotone profiles accepted by push_times)
             .expect("generators produce valid vectors");

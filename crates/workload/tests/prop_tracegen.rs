@@ -1,0 +1,67 @@
+//! Differential oracle for the streaming trace generator: on random
+//! specs, [`TraceGen`]'s streamed task sequence must reproduce the
+//! materialized [`WorkloadSpec::generate`] instance **bit for bit** —
+//! same weights, same processing-time profiles, same dense ids — while
+//! its release dates stay strictly positive and non-decreasing. This is
+//! the contract that lets `demt replaybench` stream millions of jobs
+//! without ever materializing the instance.
+
+use demt_workload::{TraceGen, TraceSpec, WorkloadKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = WorkloadKind> {
+    (0usize..WorkloadKind::ALL.len()).prop_map(|i| WorkloadKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streamed_trace_matches_the_materialized_instance(
+        kind in kind_strategy(),
+        jobs in 1usize..60,
+        procs in 1usize..48,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut spec = TraceSpec::new(jobs, procs, seed);
+        spec.kind = kind;
+        let inst = spec.workload().generate();
+        prop_assert_eq!(inst.len(), jobs);
+
+        let mut emitted = 0usize;
+        let mut prev_release = 0.0f64;
+        for (job, task) in TraceGen::new(&spec).zip(inst.tasks()) {
+            prop_assert_eq!(
+                &job.task, task,
+                "task {} diverges under {}/n={}/m={}/seed={}",
+                emitted, kind, jobs, procs, seed
+            );
+            prop_assert!(job.release.is_finite() && job.release > prev_release - 1e-15);
+            prop_assert!(job.release > 0.0);
+            prev_release = job.release;
+            emitted += 1;
+        }
+        prop_assert_eq!(emitted, jobs);
+    }
+
+    #[test]
+    fn spec_one_liner_round_trips(
+        kind in kind_strategy(),
+        jobs in 1usize..1_000_000,
+        procs in 1usize..100_000,
+        seed in 0u64..u64::MAX,
+        gap in 0.01f64..10.0,
+        shape in 1.1f64..8.0,
+    ) {
+        let spec = TraceSpec {
+            kind,
+            jobs,
+            procs,
+            seed,
+            mean_interarrival: gap,
+            pareto_shape: shape,
+        };
+        let reparsed: TraceSpec = spec.display().parse().unwrap();
+        prop_assert_eq!(reparsed, spec);
+    }
+}

@@ -31,6 +31,10 @@ fn main() {
     if cmd == "serve" {
         std::process::exit(demt::serve::serve_cli(&args[1..]));
     }
+    // And `replaybench` (source selection plus the floors gate).
+    if cmd == "replaybench" {
+        std::process::exit(demt::bench::replaybench_cli(&args[1..]));
+    }
     let opts = parse_opts(&args[1..]);
     match cmd.as_str() {
         "generate" => generate_cmd(&opts),
@@ -222,16 +226,21 @@ fn listbench_cmd(opts: &Opts) {
     let wall = start.elapsed().as_secs_f64();
     demt::platform::validate_no_overlap(&schedule)
         .unwrap_or_else(|e| die(&format!("internal: overlapping schedule: {e}")));
+    // Same line shape as `demt replaybench` timing lines (sorted keys,
+    // a "bench" discriminator, jobs + jobs/sec) so the CI trend file
+    // can carry both without a per-tool parser.
     eprintln!(
         "{}",
         serde_json::json!({
+            "bench": "listbench",
             "engine": engine,
-            "policy": if policy == ListPolicy::Greedy { "greedy" } else { "ordered" },
-            "tasks": n,
-            "procs": m,
-            "wall_seconds": wall,
+            "jobs": n,
+            "jobs_per_sec": n as f64 / wall.max(f64::MIN_POSITIVE),
             "makespan": schedule.makespan(),
             "placements": schedule.len(),
+            "policy": if policy == ListPolicy::Greedy { "greedy" } else { "ordered" },
+            "procs": m,
+            "wall_seconds": wall,
         })
     );
     println!(
@@ -503,10 +512,20 @@ COMMANDS
   serve     --procs M [--algorithm NAME] [--workers N] [--tick N]
             [--stats PATH] [--oracle] [--replay FILE.swf] [--socket P]
             | --gen-grid [--tasks N] [--procs M] [--seed S]
+            | --gen-trace SPEC
             event-driven scheduling daemon: newline-delimited JSON job
             events in (stdin, socket, or SWF replay), one JSON
             placement line per decision out, rolling stats on the side;
             placements replay byte-identically (`demt serve --help`)
+  replaybench
+            --gen-trace SPEC | --swf FILE --procs M
+            [--engine queue|serve|both] [--workers N]
+            [--floors FILE --tier NAME] [--bench-out FILE]
+            archive-scale replay benchmark: stream the trace through the
+            serve (moldable SWW) and queue (rigid EASY) engines in
+            constant memory; deterministic result JSON on stdout
+            (byte-identical for any --workers), timing lines on stderr,
+            optional jobs/sec floor gate (`demt replaybench --help`)
   repro     [fig3..fig7|ablation|verify|all] [--quick|--paper]
             [--workers W] [--json PATH] [--no-timing] ...
             regenerate the paper's figures on one shared work-stealing
